@@ -1,0 +1,54 @@
+// Command experiments regenerates the paper's evaluation tables (E1–E11 in
+// DESIGN.md). With no arguments it runs everything; pass experiment ids
+// (e.g. "E1 E5") to run a subset, -quick for shorter virtual runs, and
+// -markdown for EXPERIMENTS.md-ready output.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "shorter virtual runs")
+	markdown := flag.Bool("markdown", false, "emit markdown tables")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	all := experiments.All()
+	if *list {
+		for _, e := range all {
+			fmt.Printf("%-4s %s\n", e.ID, e.Name)
+		}
+		return
+	}
+	selected := all
+	if flag.NArg() > 0 {
+		selected = nil
+		for _, id := range flag.Args() {
+			e, ok := experiments.ByID(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+	for i, e := range selected {
+		if i > 0 {
+			fmt.Println()
+		}
+		start := time.Now()
+		table := e.Run(*quick)
+		if *markdown {
+			fmt.Println(table.Markdown())
+		} else {
+			fmt.Print(table.String())
+		}
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,78 @@
+// Command nttcp is the standalone communications analysis tool over real
+// UDP, mirroring the NSWC-DD NTTCP usage in the paper: a responder mode and
+// a measurement mode with the burst knobs of §5.1.2 (message length L,
+// inter-send period P, burst count).
+//
+//	nttcp -serve :5010
+//	nttcp -target host:5010 -l 8192 -p 30ms -n 32
+//	nttcp -target host:5010 -ping
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/nttcp"
+)
+
+func main() {
+	serve := flag.String("serve", "", "run as responder on this address (e.g. :5010)")
+	target := flag.String("target", "", "measure against this responder address")
+	msgLen := flag.Int("l", 8192, "message length L in bytes")
+	period := flag.Duration("p", 30*time.Millisecond, "inter-send time P")
+	count := flag.Int("n", 32, "messages per burst")
+	ping := flag.Bool("ping", false, "reachability probe only")
+	offset := flag.Bool("offset", false, "compute clock offset per measurement")
+	timeout := flag.Duration("timeout", 2*time.Second, "network timeout")
+	flag.Parse()
+
+	switch {
+	case *serve != "":
+		srv, err := nttcp.ListenReal(*serve)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("nttcp responder on %s\n", srv.Addr())
+		fatal(srv.Serve())
+	case *target != "":
+		c := nttcp.NewRealClient(nttcp.Config{
+			MsgLen: *msgLen, InterSend: *period, Count: *count,
+			Timeout: *timeout, ComputeOffset: *offset,
+		})
+		if *ping {
+			ok, rtt, err := c.ReachabilityReal(*target)
+			if err != nil {
+				fatal(err)
+			}
+			if !ok {
+				fmt.Printf("%s: unreachable (timeout %v)\n", *target, *timeout)
+				os.Exit(1)
+			}
+			fmt.Printf("%s: reachable, rtt %v\n", *target, rtt)
+			return
+		}
+		res, err := c.MeasureReal(*target)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("target:        %s\n", *target)
+		fmt.Printf("burst:         %d x %d B every %v\n", *count, *msgLen, *period)
+		fmt.Printf("received:      %d/%d (loss %.1f%%)\n", res.Received, res.Sent, res.Loss*100)
+		fmt.Printf("throughput:    %.3f Mb/s (receiver-measured)\n", res.ThroughputBps/1e6)
+		fmt.Printf("one-way delay: %v (offset %v)\n", res.OneWayLatency, res.Offset)
+		fmt.Printf("elapsed:       %v, %d packets / %d bytes on the wire\n",
+			res.Elapsed.Round(time.Millisecond), res.OverheadPackets, res.OverheadBytes)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nttcp:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,74 @@
+// Command snmpd runs a real-UDP SNMP agent serving a demonstration MIB:
+// the system group, a writable enterprise scalar, and live process counters
+// — enough to exercise cmd/snmpget and any v1/v2c manager against this
+// stack's wire encoding.
+//
+//	snmpd -listen 127.0.0.1:1161 -community public
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/mib"
+	"repro/internal/snmp"
+)
+
+func buildTree(started time.Time) *mib.Tree {
+	tr := mib.NewTree()
+	host, _ := os.Hostname()
+	tr.RegisterConst(mib.SysDescr, mib.Str("repro snmpd (Go, "+runtime.Version()+")"))
+	tr.RegisterConst(mib.MustOID("1.3.6.1.2.1.1.2.0"), mib.OIDVal(mib.Enterprise.Append(1)))
+	tr.RegisterScalar(mib.SysUpTime, func() mib.Value {
+		return mib.Ticks(uint64(time.Since(started).Milliseconds() / 10))
+	})
+	tr.RegisterConst(mib.MustOID("1.3.6.1.2.1.1.4.0"), mib.Str("repro"))
+	tr.RegisterConst(mib.MustOID("1.3.6.1.2.1.1.5.0"), mib.Str(host))
+	tr.RegisterConst(mib.MustOID("1.3.6.1.2.1.1.6.0"), mib.Str("loopback"))
+	tr.RegisterConst(mib.MustOID("1.3.6.1.2.1.1.7.0"), mib.Int(72))
+
+	// Live process gauges under the enterprise arc.
+	tr.RegisterScalar(mib.Enterprise.Append(2, 1, 0), func() mib.Value {
+		return mib.Gauge(uint64(runtime.NumGoroutine()))
+	})
+	tr.RegisterScalar(mib.Enterprise.Append(2, 2, 0), func() mib.Value {
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		return mib.Counter64Val(m.TotalAlloc)
+	})
+	// Writable demo scalar.
+	knob := int64(0)
+	tr.RegisterWritableScalar(mib.Enterprise.Append(3, 0),
+		func() mib.Value { return mib.Int(knob) },
+		func(v mib.Value) error { knob = v.Int; return nil })
+	return tr
+}
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:1161", "UDP address to serve")
+	community := flag.String("community", "public", "read community")
+	flag.Parse()
+
+	ua, err := net.ResolveUDPAddr("udp", *listen)
+	if err != nil {
+		fatal(err)
+	}
+	conn, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		fatal(err)
+	}
+	agent := snmp.NewAgent(buildTree(time.Now()), *community)
+	fmt.Printf("snmpd serving on %s (community %q)\n", conn.LocalAddr(), *community)
+	fatal(agent.ServeUDP(conn))
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "snmpd:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,94 @@
+// Command snmpget is the manager-side CLI over real UDP: get, getnext,
+// walk, set, and a trap listener.
+//
+//	snmpget -agent 127.0.0.1:1161 get 1.3.6.1.2.1.1.1.0
+//	snmpget -agent 127.0.0.1:1161 walk 1.3.6.1.2.1.1
+//	snmpget -agent 127.0.0.1:1161 set 1.3.6.1.4.1.5307.3.0 42
+//	snmpget -listen-traps 127.0.0.1:1162
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strconv"
+
+	"repro/internal/mib"
+	"repro/internal/snmp"
+)
+
+func main() {
+	agent := flag.String("agent", "127.0.0.1:1161", "agent address")
+	community := flag.String("community", "public", "community string")
+	traps := flag.String("listen-traps", "", "listen for traps on this address and print them")
+	flag.Parse()
+
+	if *traps != "" {
+		ua, err := net.ResolveUDPAddr("udp", *traps)
+		if err != nil {
+			fatal(err)
+		}
+		conn, err := net.ListenUDP("udp", ua)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("listening for traps on %s\n", conn.LocalAddr())
+		fatal(snmp.ListenTraps(conn, func(m *snmp.Message, from *net.UDPAddr) {
+			fmt.Printf("trap from %s: enterprise=%s generic=%d specific=%d ts=%d\n",
+				from, m.PDU.Enterprise, m.PDU.GenericTrap, m.PDU.SpecificTrap, m.PDU.Timestamp)
+			for _, vb := range m.PDU.VarBinds {
+				fmt.Printf("  %s = %s\n", vb.OID, vb.Value)
+			}
+		}))
+	}
+
+	args := flag.Args()
+	if len(args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: snmpget [-agent addr] get|getnext|walk|set OID [value]")
+		os.Exit(2)
+	}
+	op, oidStr := args[0], args[1]
+	oid, err := mib.ParseOID(oidStr)
+	if err != nil {
+		fatal(err)
+	}
+	c := snmp.NewRealClient(*community)
+	print := func(binds []snmp.VarBind) {
+		for _, vb := range binds {
+			fmt.Printf("%s = %s: %s\n", vb.OID, vb.Value.Kind, vb.Value)
+		}
+	}
+	switch op {
+	case "get":
+		binds, err := c.Get(*agent, oid)
+		fatal(err)
+		print(binds)
+	case "getnext":
+		binds, err := c.GetNext(*agent, oid)
+		fatal(err)
+		print(binds)
+	case "walk":
+		binds, err := c.Walk(*agent, oid)
+		fatal(err)
+		print(binds)
+		fmt.Printf("(%d objects)\n", len(binds))
+	case "set":
+		if len(args) < 3 {
+			fatal(fmt.Errorf("set needs a value"))
+		}
+		v, err := strconv.ParseInt(args[2], 10, 64)
+		fatal(err)
+		fatal(c.Set(*agent, snmp.VarBind{OID: oid, Value: mib.Int(v)}))
+		fmt.Println("ok")
+	default:
+		fatal(fmt.Errorf("unknown op %q", op))
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "snmpget:", err)
+		os.Exit(1)
+	}
+}

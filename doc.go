@@ -1,0 +1,10 @@
+// Package repro is a complete Go implementation of "An Architecture for
+// Network Resource Monitoring in a Distributed Environment" (Irey, Hott,
+// Marlow; NSWC-DD, IPPS 1998).
+//
+// The module root holds the benchmark harness (bench_test.go): one
+// benchmark per evaluation claim of the paper, each regenerating the
+// corresponding table from internal/experiments. The library itself lives
+// under internal/ — see README.md for the architecture and DESIGN.md for
+// the paper-to-module map.
+package repro

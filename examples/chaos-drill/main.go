@@ -1,0 +1,97 @@
+// Chaos drill: run the full survivable system (RTDS + monitor + resource
+// manager) under a scripted fault schedule — host kills, a flapping client
+// host, and a degraded LAN — and report how well the track picture held up.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/hifi"
+	"repro/internal/manager"
+	"repro/internal/netsim"
+	"repro/internal/nttcp"
+	"repro/internal/rtds"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+func main() {
+	k := sim.NewKernel()
+	defer k.Close()
+	h := topo.BuildHiPerD(k, 1)
+
+	// Application: two server replicas, six clients.
+	radar := rtds.NewRadar(k, 7, 40, 100*time.Millisecond)
+	served := map[string][]netsim.Addr{
+		"rtds-a": {"c1", "c2", "c3"},
+		"rtds-b": {"c4", "c5", "c6"},
+	}
+	servers := map[string]*rtds.Server{
+		"rtds-a": rtds.StartServer(h.Servers[0], radar, served["rtds-a"]),
+		"rtds-b": rtds.StartServer(h.Servers[1], radar, served["rtds-b"]),
+	}
+	clients := map[netsim.Addr]*rtds.Client{}
+	for i := 0; i < 6; i++ {
+		clients[h.Clients[i].Name] = rtds.StartClient(h.Clients[i])
+	}
+
+	// Monitor + manager with cooldown so the flapping host is not reused.
+	mon := hifi.New(h.Mgmt, nttcp.Config{MsgLen: 2048, InterSend: 10 * time.Millisecond, Count: 8, Timeout: time.Second}, 1)
+	mon.Start()
+	mgr := manager.New(h.Mgmt, mon, manager.Policy{
+		RequireReachable: true, Grace: 2, EvalInterval: time.Second,
+		HostCooldown: 30 * time.Second,
+	})
+	mgr.DefinePool("server", []netsim.Addr{"s1", "s2", "s3", "w-fddi-1", "w-fddi-2"})
+	mgr.DefinePool("client", []netsim.Addr{"c1", "c2", "c3", "c4", "c5", "c6"})
+	mgr.Place("rtds-a", "server")
+	mgr.Place("rtds-b", "server")
+	for i := 1; i <= 6; i++ {
+		mgr.Place(fmt.Sprintf("cl-%d", i), "client")
+	}
+	mgr.OnReconfig = func(r manager.Reconfig) {
+		fmt.Printf("%8v  manager: %s %s -> %s\n", k.Now().Truncate(time.Millisecond), r.Process, r.From, r.To)
+		if old, ok := servers[r.Process]; ok {
+			old.Stop()
+			servers[r.Process] = rtds.StartServer(h.Net.Node(r.To), radar, served[r.Process])
+		}
+	}
+	mgr.Start("server", "client")
+
+	// The chaos script.
+	sched := chaos.NewSchedule(h.Net)
+	sched.Kill("s1", 10*time.Second)                                   // clean server death
+	sched.Flap("s2", 40*time.Second, 10*time.Second, 4*time.Second, 2) // flapping server host
+	sched.Degrade(h.Eth, 0.15, 70*time.Second, 85*time.Second)         // flaky Ethernet
+	sched.Restore("s1", 60*time.Second)                                // original host returns
+
+	// Survivability metric: fraction of (client, second) samples with a
+	// fresh track picture.
+	samples, fresh := 0, 0
+	k.Every(time.Second, func() {
+		for _, c := range clients {
+			samples++
+			if c.Staleness(k.Now()) < 500*time.Millisecond {
+				fresh++
+			}
+		}
+	})
+	k.RunUntil(2 * time.Minute)
+
+	fmt.Println("\n--- drill report ---")
+	for _, e := range sched.Log {
+		fmt.Printf("  chaos: %s\n", e)
+	}
+	for _, r := range mgr.Reconfigs {
+		fmt.Printf("  reconfig: %s\n", r)
+	}
+	fmt.Printf("  track-picture availability: %.1f%% of client-seconds fresh\n",
+		100*float64(fresh)/float64(samples))
+	for _, pl := range mgr.Placements() {
+		if pl.Role == "server" {
+			fmt.Printf("  %s now on %s (incarnation %d)\n", pl.Process, pl.Host, pl.Incarnation)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+// RTDS failover: the paper's §5.1 survivability story in one example. Two
+// Radar Track Data Server replicas distribute tracks to clients; the
+// network resource monitor watches the server->client paths; when one
+// server host dies, the resource manager resumes that process on the spare
+// host and the clients' track pictures freshen again.
+//
+// (Two active servers matter: with a single server every monitored path
+// shares its fate, and the manager correctly refuses to single anything
+// out — attribution needs a healthy counter-example.)
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/hifi"
+	"repro/internal/manager"
+	"repro/internal/netsim"
+	"repro/internal/nttcp"
+	"repro/internal/rtds"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+func main() {
+	k := sim.NewKernel()
+	defer k.Close()
+	h := topo.BuildHiPerD(k, 1)
+
+	// Application: radar, two server replicas, three clients each.
+	radar := rtds.NewRadar(k, 7, 40, 100*time.Millisecond)
+	servers := map[string]*rtds.Server{
+		"rtds-a": rtds.StartServer(h.Servers[0], radar, []netsim.Addr{"c1", "c2", "c3"}),
+		"rtds-b": rtds.StartServer(h.Servers[1], radar, []netsim.Addr{"c4", "c5", "c6"}),
+	}
+	served := map[string][]netsim.Addr{
+		"rtds-a": {"c1", "c2", "c3"},
+		"rtds-b": {"c4", "c5", "c6"},
+	}
+	clients := map[netsim.Addr]*rtds.Client{}
+	for i := 0; i < 6; i++ {
+		clients[h.Clients[i].Name] = rtds.StartClient(h.Clients[i])
+	}
+
+	// Monitor + resource manager; s3 is the spare server host.
+	mon := hifi.New(h.Mgmt, nttcp.Config{MsgLen: 8192, InterSend: 30 * time.Millisecond, Count: 8}, 1)
+	mon.Start()
+	mgr := manager.New(h.Mgmt, mon, manager.Policy{RequireReachable: true, Grace: 2, EvalInterval: time.Second})
+	mgr.DefinePool("server", []netsim.Addr{"s1", "s2", "s3"})
+	mgr.DefinePool("client", []netsim.Addr{"c1", "c2", "c3", "c4", "c5", "c6"})
+	mgr.Place("rtds-a", "server")
+	mgr.Place("rtds-b", "server")
+	for i := 1; i <= 6; i++ {
+		mgr.Place(fmt.Sprintf("cl-%d", i), "client")
+	}
+	mgr.OnReconfig = func(r manager.Reconfig) {
+		fmt.Printf("%8v  manager: %s moves %s -> %s\n",
+			k.Now().Truncate(time.Millisecond), r.Process, r.From, r.To)
+		servers[r.Process].Stop()
+		servers[r.Process] = rtds.StartServer(h.Net.Node(r.To), radar, served[r.Process])
+	}
+	mgr.Start("server", "client")
+
+	status := func(label string, names []netsim.Addr) {
+		fresh := 0
+		for _, n := range names {
+			if clients[n].Staleness(k.Now()) < 500*time.Millisecond {
+				fresh++
+			}
+		}
+		fmt.Printf("%8v  %s: %d/%d of rtds-a's clients have a fresh track picture\n",
+			k.Now().Truncate(time.Millisecond), label, fresh, len(names))
+	}
+	aClients := served["rtds-a"]
+
+	k.RunUntil(5 * time.Second)
+	status("before fault", aClients)
+
+	h.Servers[0].SetUp(false)
+	fmt.Printf("%8v  *** s1 (hosting rtds-a) is down ***\n", k.Now())
+	k.RunUntil(9 * time.Second)
+	status("during outage", aClients)
+
+	k.RunUntil(40 * time.Second)
+	status("after failover", aClients)
+	pl, _ := mgr.Placement("rtds-a")
+	fmt.Printf("%8v  rtds-a now on %s (incarnation %d)\n", k.Now(), pl.Host, pl.Incarnation)
+}

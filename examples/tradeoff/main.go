@@ -1,0 +1,55 @@
+// Tradeoff: the fidelity-vs-scalability decision of §5.1.2.1, interactive.
+// Monitors the 27 HiPer-D paths with the test sequencer at several
+// concurrency levels and prints the intrusiveness/senescence frontier.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/hifi"
+	"repro/internal/metrics"
+	"repro/internal/nttcp"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+func main() {
+	table := &report.Table{
+		ID:      "tradeoff",
+		Title:   "Sequencer concurrency: intrusiveness vs senescence (27 paths)",
+		Columns: []string{"concurrency", "peak FDDI load", "sweep time", "s1->c1 sample spacing"},
+	}
+	cfg := nttcp.Config{MsgLen: 2048, InterSend: 10 * time.Millisecond, Count: 8, Timeout: time.Second}
+	for _, conc := range []int{1, 3, 9, 27} {
+		k := sim.NewKernel()
+		h := topo.BuildHiPerD(k, 1)
+		m := hifi.New(h.Mgmt, cfg, conc)
+		paths := h.PathList()
+		m.Submit(core.Request{Paths: paths, Metrics: []metrics.Metric{metrics.Throughput}})
+		m.Start()
+
+		var peak float64
+		last := h.FDDI.Stats().Octets
+		k.Every(100*time.Millisecond, func() {
+			cur := h.FDDI.Stats().Octets
+			if bps := float64(cur-last) * 8 / 0.1; bps > peak {
+				peak = bps
+			}
+			last = cur
+		})
+		k.RunUntil(30 * time.Second)
+
+		hist := m.DB.History(paths[0].ID, metrics.Throughput, 0)
+		var spacing time.Duration
+		if len(hist) > 1 {
+			spacing = (hist[len(hist)-1].TakenAt - hist[0].TakenAt) / time.Duration(len(hist)-1)
+		}
+		table.AddRow(conc, report.Bps(peak), report.Dur(m.SweepTime), report.Dur(spacing))
+		k.Close()
+	}
+	table.AddNote("pick the concurrency whose peak load your networks can spare — the paper chose 1")
+	fmt.Print(table.String())
+}

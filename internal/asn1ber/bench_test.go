@@ -1,0 +1,42 @@
+package asn1ber
+
+import "testing"
+
+func BenchmarkAppendInt(b *testing.B) {
+	b.ReportAllocs()
+	var buf []byte
+	for i := 0; i < b.N; i++ {
+		buf = AppendInt(buf[:0], TagInteger, int64(i)*1234567)
+	}
+}
+
+func BenchmarkAppendOID(b *testing.B) {
+	arcs := []uint32{1, 3, 6, 1, 2, 1, 2, 2, 1, 10, 100000}
+	b.ReportAllocs()
+	var buf []byte
+	for i := 0; i < b.N; i++ {
+		buf = AppendOID(buf[:0], arcs)
+	}
+}
+
+func BenchmarkParseOID(b *testing.B) {
+	encoded := AppendOID(nil, []uint32{1, 3, 6, 1, 2, 1, 2, 2, 1, 10, 100000})
+	content, _ := NewReader(encoded).ReadExpect(TagOID)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseOID(content); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReadTLV(b *testing.B) {
+	msg := AppendString(nil, TagOctetString, make([]byte, 200))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := NewReader(msg).ReadTLV(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

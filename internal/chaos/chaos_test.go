@@ -1,0 +1,164 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+func fixture(t *testing.T) (*sim.Kernel, *netsim.Network, *netsim.Node, *netsim.Node, *netsim.SharedSegment) {
+	t.Helper()
+	k := sim.NewKernel()
+	t.Cleanup(k.Close)
+	nw, a, b, seg := topo.TwoHosts(k, 1)
+	return k, nw, a, b, seg
+}
+
+// flow starts a 1 msg/10ms stream a->b and returns the sink.
+func flow(k *sim.Kernel, a *netsim.Node, until time.Duration) *netsim.Sink {
+	sink := netsim.NewSink(a.Network().Node("b"), 9)
+	(&netsim.CBRSource{Src: a, Dst: "b", DstPort: 9, Size: 100,
+		Interval: 10 * time.Millisecond, Count: int(until / (10 * time.Millisecond))}).Run()
+	return sink
+}
+
+func TestKillAndRestore(t *testing.T) {
+	k, nw, a, b, _ := fixture(t)
+	sink := flow(k, a, 3*time.Second)
+	s := NewSchedule(nw)
+	s.Kill("b", time.Second).Restore("b", 2*time.Second)
+	k.Run()
+	// ~100 msgs while up (0-1s), ~100 lost (1-2s), ~100 after (2-3s).
+	if sink.Received < 180 || sink.Received > 220 {
+		t.Fatalf("received %d, want ≈200", sink.Received)
+	}
+	if len(s.Log) != 2 || s.Log[0].Kind != "kill" || s.Log[1].Kind != "restore" {
+		t.Fatalf("log = %v", s.Log)
+	}
+	if !b.Up() {
+		t.Fatal("b not restored")
+	}
+}
+
+func TestFlap(t *testing.T) {
+	k, nw, a, _, _ := fixture(t)
+	flow(k, a, 5*time.Second)
+	s := NewSchedule(nw)
+	s.Flap("b", time.Second, time.Second, 300*time.Millisecond, 3)
+	k.Run()
+	if len(s.Log) != 6 {
+		t.Fatalf("flap log = %v", s.Log)
+	}
+	kills := 0
+	for _, e := range s.Log {
+		if e.Kind == "kill" {
+			kills++
+		}
+	}
+	if kills != 3 {
+		t.Fatalf("kills = %d", kills)
+	}
+}
+
+func TestCutIfaceIsolatesButHostLives(t *testing.T) {
+	k, nw, a, b, _ := fixture(t)
+	sink := flow(k, a, 2*time.Second)
+	s := NewSchedule(nw)
+	s.CutIface("b", 1, 500*time.Millisecond)
+	k.Run()
+	if sink.Received > 60 {
+		t.Fatalf("received %d after cable pull at 0.5s", sink.Received)
+	}
+	if !b.Up() {
+		t.Fatal("host itself went down")
+	}
+}
+
+func TestPartitionAndHeal(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Close()
+	h := topo.BuildHiPerD(k, 1)
+	s := NewSchedule(h.Net)
+	sink := netsim.NewSink(h.Clients[0], 9)
+	(&netsim.CBRSource{Src: h.Servers[0], Dst: "c1", DstPort: 9, Size: 100,
+		Interval: 10 * time.Millisecond, Count: 400}).Run()
+	s.Partition([]netsim.Addr{"c1", "c2"}, time.Second, 3*time.Second)
+	k.Run()
+	// 1s up + 2s partitioned + 1s healed ≈ 200 of 400 delivered.
+	if sink.Received < 170 || sink.Received > 230 {
+		t.Fatalf("received %d, want ≈200", sink.Received)
+	}
+	healed := 0
+	for _, e := range s.Log {
+		if e.Kind == "heal" {
+			healed++
+		}
+	}
+	if healed != 2 {
+		t.Fatalf("heal events = %d, log %v", healed, s.Log)
+	}
+}
+
+func TestDegradeRaisesLoss(t *testing.T) {
+	k, nw, a, _, seg := fixture(t)
+	sink := flow(k, a, 4*time.Second)
+	s := NewSchedule(nw)
+	s.Degrade(seg, 0.5, time.Second, 3*time.Second)
+	k.Run()
+	// 2s clean (200 msgs) + 2s at 50% (≈100) ≈ 300.
+	if sink.Received < 260 || sink.Received > 340 {
+		t.Fatalf("received %d, want ≈300", sink.Received)
+	}
+	if seg.Config().LossProb != 0 {
+		t.Fatal("loss not healed")
+	}
+}
+
+func TestChaosAgainstResourceManagerScenario(t *testing.T) {
+	// The survivability premise: a flapping host must not bounce the
+	// workload around when the manager has cooldown protection — chaos
+	// and manager compose.
+	k := sim.NewKernel()
+	defer k.Close()
+	h := topo.BuildHiPerD(k, 1)
+	s := NewSchedule(h.Net)
+	s.Flap("c9", 2*time.Second, 4*time.Second, 2*time.Second, 4)
+	k.RunUntil(20 * time.Second)
+	if len(s.Log) < 6 {
+		t.Fatalf("chaos did not run: %v", s.Log)
+	}
+	// Deterministic: same schedule, same log.
+	k2 := sim.NewKernel()
+	defer k2.Close()
+	h2 := topo.BuildHiPerD(k2, 1)
+	s2 := NewSchedule(h2.Net)
+	s2.Flap("c9", 2*time.Second, 4*time.Second, 2*time.Second, 4)
+	k2.RunUntil(20 * time.Second)
+	if len(s.Log) != len(s2.Log) {
+		t.Fatalf("chaos nondeterministic: %d vs %d events", len(s.Log), len(s2.Log))
+	}
+	for i := range s.Log {
+		if s.Log[i].String() != s2.Log[i].String() {
+			t.Fatalf("chaos diverged at %d", i)
+		}
+	}
+}
+
+func TestRestoreIface(t *testing.T) {
+	k, nw, a, _, _ := fixture(t)
+	sink := flow(k, a, 3*time.Second)
+	s := NewSchedule(nw)
+	s.CutIface("b", 1, 500*time.Millisecond)
+	s.RestoreIface("b", 1, 1500*time.Millisecond)
+	k.Run()
+	// ~50 before cut, ~0 during, ~150 after restore.
+	if sink.Received < 150 || sink.Received > 250 {
+		t.Fatalf("received %d, want ≈200", sink.Received)
+	}
+	if len(s.Log) != 2 || s.Log[1].Kind != "restore-iface" {
+		t.Fatalf("log = %v", s.Log)
+	}
+}

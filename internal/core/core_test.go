@@ -1,0 +1,245 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+func ref(host, proc string) ProcessRef {
+	return ProcessRef{Host: netsim.Addr(host), Process: proc}
+}
+
+func TestNewPathIDAndSegments(t *testing.T) {
+	p := NewPath(ref("s1", "rtds"), ref("r1", "router"), ref("c1", "client"))
+	if p.ID != "s1/rtds->r1/router->c1/client" {
+		t.Fatalf("ID = %q", p.ID)
+	}
+	segs := p.Segments()
+	if len(segs) != 2 {
+		t.Fatalf("segments = %d", len(segs))
+	}
+	if segs[0][1] != ref("r1", "router") || segs[1][0] != ref("r1", "router") {
+		t.Fatalf("segments = %v", segs)
+	}
+	if !p.Valid() {
+		t.Fatal("valid path reported invalid")
+	}
+	if NewPath(ref("s1", "x")).Valid() {
+		t.Fatal("single-hop path reported valid")
+	}
+}
+
+func TestCrossProductPathsMatchesFigure4(t *testing.T) {
+	// §5.1.1.1: C=9 clients, S=3 servers -> 27 paths.
+	servers := make([]ProcessRef, 3)
+	clients := make([]ProcessRef, 9)
+	for i := range servers {
+		servers[i] = ref("s"+string(rune('1'+i)), "rtds")
+	}
+	for i := range clients {
+		clients[i] = ref("c"+string(rune('1'+i)), "client")
+	}
+	paths := CrossProductPaths(servers, clients)
+	if len(paths) != 27 {
+		t.Fatalf("paths = %d, want 27", len(paths))
+	}
+	seen := make(map[PathID]bool)
+	for _, p := range paths {
+		if seen[p.ID] {
+			t.Fatalf("duplicate path %s", p.ID)
+		}
+		seen[p.ID] = true
+		if len(p.Hops) != 2 {
+			t.Fatalf("path %s has %d hops", p.ID, len(p.Hops))
+		}
+	}
+}
+
+func TestComposeSegments(t *testing.T) {
+	segs := []Measurement{
+		{Metric: metrics.Throughput, Value: 5e6, TakenAt: time.Second},
+		{Metric: metrics.Throughput, Value: 2e6, TakenAt: 2 * time.Second},
+	}
+	out := ComposeSegments(metrics.Throughput, segs)
+	if out.Value != 2e6 {
+		t.Fatalf("bottleneck throughput = %g", out.Value)
+	}
+	if out.TakenAt != 2*time.Second {
+		t.Fatalf("TakenAt = %v, want newest", out.TakenAt)
+	}
+
+	lat := ComposeSegments(metrics.OneWayLatency, []Measurement{
+		{Metric: metrics.OneWayLatency, Value: 0.001},
+		{Metric: metrics.OneWayLatency, Value: 0.002},
+	})
+	if lat.Value != 0.003 {
+		t.Fatalf("summed latency = %g", lat.Value)
+	}
+
+	reach := ComposeSegments(metrics.Reachability, []Measurement{
+		{Metric: metrics.Reachability, Value: 1},
+		{Metric: metrics.Reachability, Value: 0},
+	})
+	if reach.Value != 0 {
+		t.Fatalf("conjunction = %g", reach.Value)
+	}
+
+	failed := ComposeSegments(metrics.Throughput, []Measurement{
+		{Metric: metrics.Throughput, Value: 1e6},
+		{Metric: metrics.Throughput, Err: "timeout"},
+	})
+	if failed.OK() {
+		t.Fatal("failed segment did not fail the path")
+	}
+
+	mixed := ComposeSegments(metrics.Throughput, []Measurement{
+		{Metric: metrics.Throughput, Value: 1e6, Quality: QualityDirect},
+		{Metric: metrics.Throughput, Value: 2e6, Quality: QualityApproximate},
+	})
+	if mixed.Quality != QualityApproximate {
+		t.Fatal("approximate segment did not taint path quality")
+	}
+}
+
+func TestDatabaseCurrentVsLastKnown(t *testing.T) {
+	db := NewDatabase()
+	p := PathID("a->b")
+	db.Record(Measurement{Path: p, Metric: metrics.Throughput, Value: 1e6, TakenAt: time.Second})
+	db.Record(Measurement{Path: p, Metric: metrics.Throughput, Err: "unreachable", TakenAt: 2 * time.Second})
+
+	cur, ok := db.Current(p, metrics.Throughput)
+	if !ok || cur.OK() {
+		t.Fatalf("current should be the failed sample: %+v", cur)
+	}
+	last, ok := db.LastKnown(p, metrics.Throughput)
+	if !ok || !last.OK() || last.Value != 1e6 {
+		t.Fatalf("last known = %+v", last)
+	}
+}
+
+func TestDatabaseHistoryBounded(t *testing.T) {
+	db := NewDatabase()
+	db.HistoryDepth = 4
+	p := PathID("a->b")
+	for i := 0; i < 10; i++ {
+		db.Record(Measurement{Path: p, Metric: metrics.OneWayLatency, Value: float64(i)})
+	}
+	h := db.History(p, metrics.OneWayLatency, 0)
+	if len(h) != 4 {
+		t.Fatalf("history length = %d, want 4", len(h))
+	}
+	if h[0].Value != 6 || h[3].Value != 9 {
+		t.Fatalf("history window = %v..%v, want 6..9", h[0].Value, h[3].Value)
+	}
+	if got := db.History(p, metrics.OneWayLatency, 2); len(got) != 2 || got[1].Value != 9 {
+		t.Fatalf("History(2) = %v", got)
+	}
+}
+
+func TestDatabaseSenescence(t *testing.T) {
+	db := NewDatabase()
+	p := PathID("a->b")
+	db.Record(Measurement{Path: p, Metric: metrics.Reachability, Value: 1, TakenAt: 3 * time.Second})
+	age, ok := db.Senescence(10*time.Second, p, metrics.Reachability)
+	if !ok || age != 7*time.Second {
+		t.Fatalf("senescence = %v, %v", age, ok)
+	}
+	if _, ok := db.Senescence(0, "nope", metrics.Reachability); ok {
+		t.Fatal("senescence of unknown series reported ok")
+	}
+	db.Record(Measurement{Path: "c->d", Metric: metrics.Reachability, Value: 1, TakenAt: time.Second})
+	if got := db.MaxSenescence(10 * time.Second); got != 9*time.Second {
+		t.Fatalf("max senescence = %v", got)
+	}
+}
+
+func TestPropertyDatabaseLastKnownAlwaysOK(t *testing.T) {
+	// Property: whatever mix of failed/good samples arrives, LastKnown is
+	// the most recent OK sample and Current is the most recent of all.
+	f := func(oks []bool) bool {
+		db := NewDatabase()
+		p := PathID("x->y")
+		lastOKIdx := -1
+		for i, ok := range oks {
+			m := Measurement{Path: p, Metric: metrics.Throughput, Value: float64(i), TakenAt: time.Duration(i)}
+			if !ok {
+				m.Err = "fail"
+			} else {
+				lastOKIdx = i
+			}
+			db.Record(m)
+		}
+		if len(oks) == 0 {
+			_, found := db.Current(p, metrics.Throughput)
+			return !found
+		}
+		cur, _ := db.Current(p, metrics.Throughput)
+		if cur.TakenAt != time.Duration(len(oks)-1) {
+			return false
+		}
+		last, found := db.LastKnown(p, metrics.Throughput)
+		if lastOKIdx == -1 {
+			return !found
+		}
+		return found && last.OK() && last.TakenAt == time.Duration(lastOKIdx)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDirectorBasePublishAndModes(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Close()
+	d := NewDirectorBase(k)
+	p := NewPath(ref("a", "x"), ref("b", "y"))
+
+	// On-demand mode: no async stream.
+	d.Submit(Request{Paths: []Path{p}, Metrics: []metrics.Metric{metrics.Throughput}, Mode: ReportOnDemand})
+	d.Publish(Measurement{Path: p.ID, Metric: metrics.Throughput, Value: 1})
+	if d.Reports().Len() != 0 {
+		t.Fatal("on-demand mode streamed a report")
+	}
+	if m, ok := d.Query(p.ID, metrics.Throughput); !ok || m.Value != 1 {
+		t.Fatalf("query = %+v, %v", m, ok)
+	}
+
+	// Async mode streams.
+	d.Submit(Request{Paths: []Path{p}, Metrics: []metrics.Metric{metrics.Throughput}, Mode: ReportAsync})
+	d.Publish(Measurement{Path: p.ID, Metric: metrics.Throughput, Value: 2})
+	if d.Reports().Len() != 1 {
+		t.Fatal("async mode did not stream")
+	}
+	if d.Published != 2 {
+		t.Fatalf("published = %d", d.Published)
+	}
+}
+
+func TestRequestPairs(t *testing.T) {
+	req := Request{
+		Paths:   CrossProductPaths(make([]ProcessRef, 3), make([]ProcessRef, 9)),
+		Metrics: []metrics.Metric{metrics.Throughput, metrics.OneWayLatency, metrics.Reachability},
+	}
+	if req.Pairs() != 81 {
+		t.Fatalf("pairs = %d, want 81", req.Pairs())
+	}
+}
+
+func TestMeasurementStringAndReached(t *testing.T) {
+	m := Measurement{Path: "a->b", Metric: metrics.Reachability, Value: 1}
+	if !m.Reached() {
+		t.Fatal("Reached() = false for value 1")
+	}
+	bad := Measurement{Path: "a->b", Metric: metrics.Reachability, Err: "x"}
+	if bad.Reached() {
+		t.Fatal("failed measurement reported reached")
+	}
+	if bad.String() == "" || m.String() == "" {
+		t.Fatal("empty String()")
+	}
+}

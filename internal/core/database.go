@@ -1,0 +1,123 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// DefaultHistoryDepth is how many samples the database retains per
+// (path, metric).
+const DefaultHistoryDepth = 64
+
+type dbKey struct {
+	path   PathID
+	metric metrics.Metric
+}
+
+type dbSeries struct {
+	current   Measurement
+	lastKnown Measurement
+	hasLast   bool
+	history   []Measurement
+}
+
+// Database is the measurement store of Figure 2. It "enables both current
+// value and last known value reporting to the resource manager": the
+// current value is the latest sample (which may be a failure), the last
+// known value is the latest successful sample.
+type Database struct {
+	// HistoryDepth bounds per-series history; zero means the default.
+	HistoryDepth int
+
+	series map[dbKey]*dbSeries
+	// Records counts all stored measurements.
+	Records uint64
+}
+
+// NewDatabase returns an empty store.
+func NewDatabase() *Database {
+	return &Database{series: make(map[dbKey]*dbSeries)}
+}
+
+// Record stores a measurement as the current value, updates last-known on
+// success, and appends to history.
+func (db *Database) Record(m Measurement) {
+	key := dbKey{m.Path, m.Metric}
+	s := db.series[key]
+	if s == nil {
+		s = &dbSeries{}
+		db.series[key] = s
+	}
+	s.current = m
+	if m.OK() {
+		s.lastKnown = m
+		s.hasLast = true
+	}
+	depth := db.HistoryDepth
+	if depth <= 0 {
+		depth = DefaultHistoryDepth
+	}
+	s.history = append(s.history, m)
+	if len(s.history) > depth {
+		s.history = s.history[len(s.history)-depth:]
+	}
+	db.Records++
+}
+
+// Current returns the latest sample for the series.
+func (db *Database) Current(path PathID, metric metrics.Metric) (Measurement, bool) {
+	s := db.series[dbKey{path, metric}]
+	if s == nil {
+		return Measurement{}, false
+	}
+	return s.current, true
+}
+
+// LastKnown returns the latest successful sample.
+func (db *Database) LastKnown(path PathID, metric metrics.Metric) (Measurement, bool) {
+	s := db.series[dbKey{path, metric}]
+	if s == nil || !s.hasLast {
+		return Measurement{}, false
+	}
+	return s.lastKnown, true
+}
+
+// History returns up to n retained samples, oldest first; n <= 0 returns
+// all retained.
+func (db *Database) History(path PathID, metric metrics.Metric, n int) []Measurement {
+	s := db.series[dbKey{path, metric}]
+	if s == nil {
+		return nil
+	}
+	h := s.history
+	if n > 0 && len(h) > n {
+		h = h[len(h)-n:]
+	}
+	return append([]Measurement(nil), h...)
+}
+
+// Senescence returns the age of the current sample at time now — the
+// fidelity component of §4.4. ok is false when nothing has been recorded.
+func (db *Database) Senescence(now time.Duration, path PathID, metric metrics.Metric) (time.Duration, bool) {
+	s := db.series[dbKey{path, metric}]
+	if s == nil {
+		return 0, false
+	}
+	return now - s.current.TakenAt, true
+}
+
+// MaxSenescence returns the largest current-sample age across all series —
+// the worst-case data staleness a resource manager decision would act on.
+func (db *Database) MaxSenescence(now time.Duration) time.Duration {
+	var max time.Duration
+	for _, s := range db.series {
+		if age := now - s.current.TakenAt; age > max {
+			max = age
+		}
+	}
+	return max
+}
+
+// Series reports the number of (path, metric) series recorded.
+func (db *Database) Series() int { return len(db.series) }

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// DirectorBase is the common machinery of a sensor director: it owns the
+// database, the asynchronous report stream, and the current request.
+// Concrete directors (hifi, cots, hybrid) embed it and add their
+// sensor-driving strategy.
+type DirectorBase struct {
+	DB *Database
+
+	reports *sim.Queue[Measurement]
+	req     Request
+	haveReq bool
+	stopped bool
+
+	// Published counts measurements delivered.
+	Published uint64
+}
+
+// NewDirectorBase wires a director with a fresh database and report queue.
+func NewDirectorBase(k *sim.Kernel) DirectorBase {
+	return DirectorBase{
+		DB:      NewDatabase(),
+		reports: sim.NewQueue[Measurement](k, 0),
+	}
+}
+
+// Submit installs the request (Monitor interface).
+func (d *DirectorBase) Submit(req Request) {
+	d.req = req
+	d.haveReq = true
+}
+
+// Request returns the active request and whether one is installed.
+func (d *DirectorBase) Request() (Request, bool) { return d.req, d.haveReq }
+
+// Stopped reports whether Stop was called.
+func (d *DirectorBase) Stopped() bool { return d.stopped }
+
+// Stop ceases collection (Monitor interface).
+func (d *DirectorBase) Stop() { d.stopped = true }
+
+// Publish records a measurement and, in async mode, streams it.
+func (d *DirectorBase) Publish(m Measurement) {
+	d.DB.Record(m)
+	d.Published++
+	if d.req.Mode == ReportAsync {
+		d.reports.Put(m)
+	}
+}
+
+// Query implements current-value reporting (Monitor interface).
+func (d *DirectorBase) Query(path PathID, metric metrics.Metric) (Measurement, bool) {
+	return d.DB.Current(path, metric)
+}
+
+// LastKnown implements last-known-value reporting (Monitor interface).
+func (d *DirectorBase) LastKnown(path PathID, metric metrics.Metric) (Measurement, bool) {
+	return d.DB.LastKnown(path, metric)
+}
+
+// Reports returns the asynchronous stream (Monitor interface).
+func (d *DirectorBase) Reports() *sim.Queue[Measurement] { return d.reports }
+
+// Database exposes the measurement store for export and analysis.
+func (d *DirectorBase) Database() *Database { return d.DB }

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/metrics"
+)
+
+// ExportCSV writes every retained measurement (all series' history) as CSV
+// for offline analysis, ordered by (path, metric, time). Columns:
+// path, metric, value, unit, quality, taken_at_seconds, error.
+func (db *Database) ExportCSV(w io.Writer) error {
+	keys := make([]dbKey, 0, len(db.series))
+	for k := range db.series {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].path != keys[j].path {
+			return keys[i].path < keys[j].path
+		}
+		return keys[i].metric < keys[j].metric
+	})
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"path", "metric", "value", "unit", "quality", "taken_at_seconds", "error"}); err != nil {
+		return err
+	}
+	for _, key := range keys {
+		for _, m := range db.series[key].history {
+			rec := []string{
+				string(m.Path),
+				m.Metric.String(),
+				fmt.Sprintf("%g", m.Value),
+				m.Metric.Unit(),
+				m.Quality.String(),
+				fmt.Sprintf("%.6f", m.TakenAt.Seconds()),
+				m.Err,
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Summary aggregates one series for reporting.
+type Summary struct {
+	Path     PathID
+	Metric   metrics.Metric
+	Samples  int
+	Failures int
+	Mean     float64
+	Min, Max float64
+	Last     Measurement
+}
+
+// Summarize folds each series' retained history into a Summary, ordered by
+// (path, metric).
+func (db *Database) Summarize() []Summary {
+	keys := make([]dbKey, 0, len(db.series))
+	for k := range db.series {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].path != keys[j].path {
+			return keys[i].path < keys[j].path
+		}
+		return keys[i].metric < keys[j].metric
+	})
+	out := make([]Summary, 0, len(keys))
+	for _, key := range keys {
+		s := db.series[key]
+		sum := Summary{Path: key.path, Metric: key.metric, Last: s.current}
+		var vals []float64
+		for _, m := range s.history {
+			sum.Samples++
+			if !m.OK() {
+				sum.Failures++
+				continue
+			}
+			vals = append(vals, m.Value)
+		}
+		if len(vals) > 0 {
+			sum.Mean = metrics.Mean(vals)
+			sum.Min, sum.Max = metrics.MinMax(vals)
+		}
+		out = append(out, sum)
+	}
+	return out
+}

@@ -1,0 +1,345 @@
+// Package cots implements the paper's Scalable network resource monitor
+// (§5.2): a sensor director that translates the resource manager's
+// (path, metric)-tuples into SNMP MIB queries and RMON threshold traps,
+// using COTS-style network management components as its sensors.
+//
+// The fidelity ceiling the paper observed is reproduced structurally:
+//
+//   - reachability is inferred from whether an agent answers (and must be
+//     polled in the background, because connectionless SNMP gives no
+//     failure notification);
+//   - throughput is approximated from interface octet-counter deltas,
+//     timed by the agent's own sysUpTime ticks (10 ms granularity at
+//     best — §5.2.4's "clock granularity appears to be limited");
+//   - one-way latency has no standard-MIB source at all and is
+//     approximated as half the SNMP round trip.
+//
+// Every such measurement is marked QualityApproximate, in contrast to the
+// NTTCP-based monitor's QualityDirect.
+package cots
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/flowmeter"
+	"repro/internal/metrics"
+	"repro/internal/mib"
+	"repro/internal/netsim"
+	"repro/internal/rmon"
+	"repro/internal/sim"
+	"repro/internal/snmp"
+)
+
+// Monitor is the COTS instantiation of the core architecture.
+type Monitor struct {
+	core.DirectorBase
+
+	// Client is the manager-side SNMP endpoint used by all polls.
+	Client *snmp.Client
+	// PollInterval is the background polling period — the knob trading
+	// detection latency and senescence against intrusiveness (§5.2.4).
+	PollInterval time.Duration
+
+	// Agents tracks the agents deployed by EnsureAgents, per host.
+	Agents map[netsim.Addr]*DeployedAgent
+
+	host       *netsim.Node
+	nw         *netsim.Network
+	sink       *snmp.TrapSink
+	watches    map[netsim.Addr]watch
+	meter      *flowmeter.Meter
+	flowReader *flowmeter.Reader
+	started    bool
+
+	// per-path previous counter samples for delta throughput
+	prev map[core.PathID]counterSample
+}
+
+type counterSample struct {
+	octets uint64
+	ticks  uint64
+	valid  bool
+}
+
+// DeployedAgent bundles an agent with its MIB view.
+type DeployedAgent struct {
+	Node  *netsim.Node
+	View  *mib.NodeView
+	Agent *snmp.Agent
+}
+
+var _ core.Monitor = (*Monitor)(nil)
+
+// New creates the monitor with its management station on host.
+func New(host *netsim.Node, community string, pollInterval time.Duration) *Monitor {
+	if pollInterval <= 0 {
+		pollInterval = 5 * time.Second
+	}
+	m := &Monitor{
+		DirectorBase: core.NewDirectorBase(host.Network().K),
+		Client:       snmp.NewClient(host, community),
+		PollInterval: pollInterval,
+		Agents:       make(map[netsim.Addr]*DeployedAgent),
+		host:         host,
+		nw:           host.Network(),
+		prev:         make(map[core.PathID]counterSample),
+	}
+	m.Client.Timeout = 500 * time.Millisecond
+	m.Client.Retries = 1
+	return m
+}
+
+// UseFlowMeter switches the throughput sensor from interface counter
+// deltas to a passive flow meter (per host-pair), the RTFM direction the
+// paper's §2 cites. The meter must tap a segment every monitored path
+// crosses; the estimate remains QualityApproximate because it measures
+// the traffic the application happens to send, not path capacity.
+func (m *Monitor) UseFlowMeter(meter *flowmeter.Meter) {
+	m.meter = meter
+	m.flowReader = meter.NewReader()
+}
+
+// EnsureAgent deploys (or returns) the SNMP agent on a host.
+func (m *Monitor) EnsureAgent(host netsim.Addr) *DeployedAgent {
+	if a, ok := m.Agents[host]; ok {
+		return a
+	}
+	node := m.nw.Node(host)
+	if node == nil {
+		return nil
+	}
+	view := mib.NewNodeView(node)
+	agent := snmp.NewAgent(view.Tree, m.Client.Community)
+	agent.ServeSim(node, 0)
+	d := &DeployedAgent{Node: node, View: view, Agent: agent}
+	m.Agents[host] = d
+	return d
+}
+
+// Submit installs the request and deploys agents on every host the path
+// list touches.
+func (m *Monitor) Submit(req core.Request) {
+	m.DirectorBase.Submit(req)
+	for _, path := range req.Paths {
+		for _, hop := range path.Hops {
+			m.EnsureAgent(hop.Host)
+		}
+	}
+}
+
+// Start spawns the sensor director's polling proc and the trap sink.
+func (m *Monitor) Start() {
+	if m.started {
+		return
+	}
+	m.started = true
+	if m.sink == nil {
+		m.sink = snmp.StartTrapSink(m.host, 0, 256, time.Millisecond)
+		m.sink.OnTrap = m.onTrap
+	}
+	m.host.Spawn("cots-director", func(p *sim.Proc) {
+		for !m.Stopped() {
+			req, ok := m.Request()
+			if !ok || len(req.Paths) == 0 {
+				p.Sleep(m.PollInterval)
+				continue
+			}
+			m.sweep(p, req)
+			p.Sleep(m.PollInterval)
+		}
+	})
+}
+
+// hostSample is one sweep's view of one agent.
+type hostSample struct {
+	up     bool
+	rtt    time.Duration
+	ticks  uint64
+	octets uint64
+}
+
+// sweep polls every distinct host on the path list once (sysUpTime +
+// ifInOctets), then derives per-path measurements: a path is deemed
+// reachable when both endpoint agents answer, throughput comes from the
+// destination's counter deltas timed by its own sysUpTime ticks, and
+// latency is approximated as half the destination's SNMP round trip.
+//
+// Polling per host rather than per path is what makes this director
+// scalable; the price is that "reachability" is really endpoint liveness —
+// it cannot see a broken path between two healthy hosts, one more fidelity
+// gap versus the NTTCP sensor.
+func (m *Monitor) sweep(p *sim.Proc, req core.Request) {
+	var hostOrder []netsim.Addr
+	seen := make(map[netsim.Addr]bool)
+	for _, path := range req.Paths {
+		if !path.Valid() {
+			continue
+		}
+		for _, hop := range path.Hops {
+			if !seen[hop.Host] {
+				seen[hop.Host] = true
+				hostOrder = append(hostOrder, hop.Host)
+			}
+		}
+	}
+	var flowRates map[[2]netsim.Addr]float64
+	if m.flowReader != nil {
+		flowRates = make(map[[2]netsim.Addr]float64)
+		for _, r := range m.flowReader.Rates() {
+			flowRates[[2]netsim.Addr{r.Key.Src, r.Key.Dst}] += r.BitsPS
+		}
+	}
+	samples := make(map[netsim.Addr]hostSample, len(hostOrder))
+	for _, host := range hostOrder {
+		rtt, binds, err := m.timedGet(p, host,
+			mib.SysUpTime,
+			mib.IfEntry.Append(10, 1), // ifInOctets.1
+		)
+		s := hostSample{rtt: rtt}
+		if err == nil && len(binds) == 2 {
+			s.up = true
+			s.ticks = binds[0].Value.Uint
+			s.octets = binds[1].Value.Uint
+		}
+		samples[host] = s
+	}
+	now := p.Now()
+	for _, path := range req.Paths {
+		if !path.Valid() {
+			continue
+		}
+		src := samples[path.Hops[0].Host]
+		dst := samples[path.Hops[len(path.Hops)-1].Host]
+		for _, metric := range req.Metrics {
+			meas := core.Measurement{Path: path.ID, Metric: metric, TakenAt: now, Quality: core.QualityApproximate}
+			switch metric {
+			case metrics.Reachability:
+				// Answering agents are the only signal SNMP offers;
+				// silence means unreachable (or just lost datagrams —
+				// the ambiguity is inherent, §5.2.4).
+				if src.up && dst.up {
+					meas.Value = 1
+				}
+			case metrics.OneWayLatency:
+				if !dst.up {
+					meas.Err = "snmp: request timed out"
+				} else {
+					meas.Value = (dst.rtt / 2).Seconds()
+				}
+			case metrics.Throughput:
+				if !dst.up {
+					meas.Err = "snmp: request timed out"
+					m.prev[path.ID] = counterSample{}
+					break
+				}
+				if flowRates != nil {
+					meas.Value = flowRates[[2]netsim.Addr{path.Hops[0].Host, path.Hops[len(path.Hops)-1].Host}]
+					break
+				}
+				prev := m.prev[path.ID]
+				m.prev[path.ID] = counterSample{octets: dst.octets, ticks: dst.ticks, valid: true}
+				if !prev.valid {
+					meas.Err = "warming up: first counter sample"
+					break
+				}
+				// Counter32 and TimeTicks wrap at 2^32; deltas are taken
+				// modulo 2^32 as real managers must (a busy FDDI interface
+				// wraps ifInOctets in minutes).
+				dticks := (dst.ticks - prev.ticks) & 0xffffffff
+				if dticks == 0 {
+					meas.Err = "agent clock did not advance between samples"
+					break
+				}
+				doctets := (dst.octets - prev.octets) & 0xffffffff
+				meas.Value = float64(doctets) * 8 / (float64(dticks) / 100)
+			}
+			m.Publish(meas)
+		}
+	}
+}
+
+// timedGet issues a Get and reports the round-trip time.
+func (m *Monitor) timedGet(p *sim.Proc, agent netsim.Addr, oids ...mib.OID) (time.Duration, []snmp.VarBind, error) {
+	start := p.Now()
+	binds, err := m.Client.Get(p, agent, oids...)
+	return p.Now() - start, binds, err
+}
+
+// onTrap converts arriving RMON threshold traps into asynchronous
+// measurements for the path registered against the alarm.
+func (m *Monitor) onTrap(msg *snmp.Message, from netsim.Addr) {
+	watch, ok := m.watches[from]
+	if !ok {
+		return
+	}
+	var sampled int64
+	for _, vb := range msg.PDU.VarBinds {
+		if vb.Value.Kind == mib.KindInteger {
+			sampled = vb.Value.Int
+		}
+	}
+	meas := core.Measurement{
+		Path:    watch.path,
+		Metric:  metrics.Throughput,
+		Value:   float64(sampled) * 8 / watch.interval.Seconds(),
+		Quality: core.QualityApproximate,
+		TakenAt: m.nw.K.Now(),
+	}
+	m.Publish(meas)
+	if watch.onEvent != nil {
+		watch.onEvent(msg.PDU.SpecificTrap == 1, meas)
+	}
+}
+
+type watch struct {
+	path     core.PathID
+	interval time.Duration
+	onEvent  func(rising bool, meas core.Measurement)
+}
+
+// WatchSegment installs an RMON delta-octets alarm on a probe and routes
+// its rising/falling traps back as asynchronous throughput reports for the
+// given path — "a trap could be set up in an RMON probe ... to monitor
+// network capacity on the specified path" (§5.2.2).
+func (m *Monitor) WatchSegment(probe *rmon.Probe, path core.PathID, interval time.Duration,
+	risingOctets, fallingOctets int64, onEvent func(rising bool, meas core.Measurement)) {
+
+	d := m.EnsureAgent(probe.Node.Name)
+	if d == nil {
+		return
+	}
+	probe.Register(d.View.Tree)
+	d.Agent.AddTrapDestSim(probe.Node, m.host.Name, 0)
+	probe.TrapFunc = func(generic, specific int, binds []rmon.VarBind) {
+		sb := make([]snmp.VarBind, len(binds))
+		for i, b := range binds {
+			sb[i] = snmp.VarBind{OID: b.OID, Value: b.Value}
+		}
+		d.Agent.SendTrap(mib.Enterprise, mib.PseudoIP(probe.Node.Name), generic, specific, sb)
+	}
+	rising := probe.AddEvent("utilization high", true, true)
+	falling := probe.AddEvent("utilization normal", true, true)
+	probe.AddAlarm(d.View.Tree, rmon.Alarm{
+		Interval:     interval,
+		Variable:     rmon.EtherStatsOID(4), // etherStatsOctets
+		SampleType:   rmon.DeltaValue,
+		Rising:       risingOctets,
+		Falling:      fallingOctets,
+		RisingEvent:  rising,
+		FallingEvent: falling,
+	})
+	if m.watches == nil {
+		m.watches = make(map[netsim.Addr]watch)
+	}
+	m.watches[probe.Node.Name] = watch{path: path, interval: interval, onEvent: onEvent}
+}
+
+// TrapSink exposes the station's sink for experiments.
+func (m *Monitor) TrapSink() *snmp.TrapSink { return m.sink }
+
+// String describes the monitor configuration.
+func (m *Monitor) String() string {
+	return fmt.Sprintf("cots(poll=%v, agents=%d)", m.PollInterval, len(m.Agents))
+}

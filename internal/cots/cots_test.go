@@ -1,0 +1,277 @@
+package cots
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/flowmeter"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/rmon"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+var allMetrics = []metrics.Metric{metrics.Throughput, metrics.OneWayLatency, metrics.Reachability}
+
+func TestPollsProduceApproximateMeasurements(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Close()
+	h := topo.BuildHiPerD(k, 1)
+	m := New(h.Mgmt, "public", time.Second)
+	paths := core.CrossProductPaths(h.ServerRefs()[:1], h.ClientRefs()[:2])
+	m.Submit(core.Request{Paths: paths, Metrics: allMetrics})
+	m.Start()
+	// Application traffic so counters move: s1 -> c1 CBR.
+	netsim.NewSink(h.Clients[0], 9)
+	(&netsim.CBRSource{Src: h.Servers[0], Dst: "c1", DstPort: 9, Size: 8192, Interval: 30 * time.Millisecond}).Run()
+	k.RunUntil(10 * time.Second)
+
+	reach, ok := m.Query(paths[0].ID, metrics.Reachability)
+	if !ok || !reach.Reached() {
+		t.Fatalf("reachability: %v %v", reach, ok)
+	}
+	if reach.Quality != core.QualityApproximate {
+		t.Fatal("COTS measurement not marked approximate")
+	}
+	tp, ok := m.Query(paths[0].ID, metrics.Throughput)
+	if !ok || !tp.OK() {
+		t.Fatalf("throughput: %v %v", tp, ok)
+	}
+	// c1 receives ~2.25 Mb/s inc. headers; counter-delta estimate should
+	// be within a factor of 2 (it is an approximation, not garbage).
+	if tp.Value < 1e6 || tp.Value > 5e6 {
+		t.Fatalf("throughput estimate %.3g implausible", tp.Value)
+	}
+	lat, _ := m.Query(paths[0].ID, metrics.OneWayLatency)
+	if !lat.OK() || lat.Value <= 0 {
+		t.Fatalf("latency approx: %v", lat)
+	}
+}
+
+func TestFirstThroughputSampleWarmsUp(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Close()
+	h := topo.BuildHiPerD(k, 1)
+	m := New(h.Mgmt, "public", 2*time.Second)
+	paths := core.CrossProductPaths(h.ServerRefs()[:1], h.ClientRefs()[:1])
+	m.Submit(core.Request{Paths: paths, Metrics: []metrics.Metric{metrics.Throughput}})
+	m.Start()
+	k.RunUntil(1 * time.Second) // only one poll has happened
+	tp, ok := m.Query(paths[0].ID, metrics.Throughput)
+	if !ok {
+		t.Fatal("no current value after first poll")
+	}
+	if tp.OK() {
+		t.Fatalf("first sample should be a warm-up error, got %v", tp)
+	}
+}
+
+func TestBackgroundPollingDetectsFailure(t *testing.T) {
+	// §5.2.4: "a network monitor may need to perform background polling to
+	// detect network failure ... which would prevent the reception of
+	// traps".
+	k := sim.NewKernel()
+	defer k.Close()
+	h := topo.BuildHiPerD(k, 1)
+	m := New(h.Mgmt, "public", time.Second)
+	paths := core.CrossProductPaths(h.ServerRefs()[:1], h.ClientRefs()[:1])
+	m.Submit(core.Request{Paths: paths, Metrics: []metrics.Metric{metrics.Reachability}})
+	m.Start()
+	k.RunUntil(3 * time.Second)
+	if r, _ := m.Query(paths[0].ID, metrics.Reachability); !r.Reached() {
+		t.Fatalf("alive client polled unreachable: %v", r)
+	}
+	failAt := 5 * time.Second
+	k.At(failAt, func() { h.Clients[0].SetUp(false) })
+	k.RunUntil(20 * time.Second)
+	r, _ := m.Query(paths[0].ID, metrics.Reachability)
+	if r.Reached() {
+		t.Fatal("failure not detected by background polling")
+	}
+	// Detection happened within ~poll interval + timeout after failure.
+	if r.TakenAt < failAt {
+		t.Fatalf("stale detection timestamp %v", r.TakenAt)
+	}
+	// Reachability polls always "succeed" (they measure up or down), so
+	// last-known tracks current; the healthy samples remain in history.
+	hist := m.DB.History(paths[0].ID, metrics.Reachability, 0)
+	sawHealthy := false
+	for _, s := range hist {
+		if s.Reached() && s.TakenAt < failAt {
+			sawHealthy = true
+		}
+	}
+	if !sawHealthy {
+		t.Fatal("history lost the pre-failure healthy samples")
+	}
+}
+
+func TestWatchSegmentTrapsBecomeAsyncReports(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Close()
+	h := topo.BuildHiPerD(k, 1)
+	m := New(h.Mgmt, "public", 30*time.Second)                 // long poll: traps do the work
+	path := core.NewPath(h.ServerRefs()[0], h.ClientRefs()[4]) // c5 on the Ethernet
+	m.Submit(core.Request{Paths: []core.Path{path}, Metrics: []metrics.Metric{metrics.Throughput}, Mode: core.ReportAsync})
+	m.Start()
+
+	probe := rmon.NewProbe(h.Probe, h.Eth)
+	var events []bool
+	var risingBps float64
+	m.WatchSegment(probe, path.ID, time.Second, 100_000, 10_000, func(rising bool, meas core.Measurement) {
+		events = append(events, rising)
+		if rising {
+			risingBps = meas.Value
+		}
+	})
+
+	// Load burst on the Ethernet between t=3s and t=6s: ~2.2 Mb/s >> the
+	// 100kB/s rising threshold.
+	netsim.NewSink(h.Clients[4], 9)
+	k.At(3*time.Second, func() {
+		(&netsim.CBRSource{Src: h.Servers[0], Dst: "c5", DstPort: 9, Size: 8192, Interval: 30 * time.Millisecond, Count: 100}).Run()
+	})
+	k.RunUntil(15 * time.Second)
+	if len(events) < 2 {
+		t.Fatalf("events = %v, want rising then falling", events)
+	}
+	if !events[0] || events[1] {
+		t.Fatalf("event order = %v", events)
+	}
+	if m.TrapSink().Stats.Processed < 2 {
+		t.Fatalf("sink processed %d traps", m.TrapSink().Stats.Processed)
+	}
+	// The rising report carried an approximate throughput above the
+	// threshold rate (100 kB/s over 1 s = 800 kb/s).
+	if risingBps < 800_000 {
+		t.Fatalf("rising trap throughput = %.0f b/s", risingBps)
+	}
+	// And the current value after the burst is back near zero.
+	if r, ok := m.Query(path.ID, metrics.Throughput); !ok || r.Value >= 800_000 {
+		t.Fatalf("post-burst throughput: %v %v", r, ok)
+	}
+}
+
+func TestPollingTrafficScalesWithPathsAndInterval(t *testing.T) {
+	// Intrusiveness: bytes on the wire per unit time grow linearly with
+	// the number of monitored paths and inversely with the interval.
+	traffic := func(nClients int, interval time.Duration) uint64 {
+		k := sim.NewKernel()
+		defer k.Close()
+		h := topo.BuildHiPerD(k, 1)
+		m := New(h.Mgmt, "public", interval)
+		paths := core.CrossProductPaths(h.ServerRefs()[:1], h.ClientRefs()[:nClients])
+		m.Submit(core.Request{Paths: paths, Metrics: []metrics.Metric{metrics.Reachability}})
+		m.Start()
+		k.RunUntil(30 * time.Second)
+		return m.Client.Stats.BytesSent
+	}
+	base := traffic(2, 5*time.Second)
+	morePaths := traffic(8, 5*time.Second)
+	faster := traffic(2, time.Second)
+	if morePaths < 3*base {
+		t.Fatalf("4x paths -> %.1fx traffic", float64(morePaths)/float64(base))
+	}
+	if faster < 3*base {
+		t.Fatalf("5x rate -> %.1fx traffic", float64(faster)/float64(base))
+	}
+}
+
+func TestCOTSIsLessIntrusiveThanParallelHiFi(t *testing.T) {
+	// The architecture tradeoff in one number: monitoring 27 paths, COTS
+	// polling puts orders of magnitude fewer bytes on the backbone than
+	// parallel NTTCP bursts.
+	k := sim.NewKernel()
+	defer k.Close()
+	h := topo.BuildHiPerD(k, 1)
+	m := New(h.Mgmt, "public", 5*time.Second)
+	m.Submit(core.Request{Paths: h.PathList(), Metrics: allMetrics})
+	m.Start()
+	k.RunUntil(60 * time.Second)
+	perSecond := float64(m.Client.Stats.BytesSent+m.Client.Stats.BytesRecv) * 8 / 60
+	if perSecond > 500_000 {
+		t.Fatalf("COTS polling load %.0f b/s implausibly high", perSecond)
+	}
+	if m.Client.Stats.Responses == 0 {
+		t.Fatal("no successful polls")
+	}
+}
+
+func TestCounterWrapHandledInThroughput(t *testing.T) {
+	// Push the destination's 32-bit octet counter to just below the wrap
+	// point; the delta across the wrap must still be the true rate, not a
+	// 4-billion-octet explosion or an underflow.
+	k := sim.NewKernel()
+	defer k.Close()
+	h := topo.BuildHiPerD(k, 1)
+	// Pre-load the counter near 2^32.
+	h.Clients[0].Ifaces()[0].Counters.InOctets = 1<<32 - 50_000
+	m := New(h.Mgmt, "public", time.Second)
+	paths := core.CrossProductPaths(h.ServerRefs()[:1], h.ClientRefs()[:1])
+	m.Submit(core.Request{Paths: paths, Metrics: []metrics.Metric{metrics.Throughput}})
+	m.Start()
+	netsim.NewSink(h.Clients[0], 9)
+	(&netsim.CBRSource{Src: h.Servers[0], Dst: "c1", DstPort: 9,
+		Size: 8192, Interval: 30 * time.Millisecond}).Run()
+	k.RunUntil(15 * time.Second)
+	// Every post-warm-up estimate must be sane (~2.2 Mb/s), including the
+	// sample that straddled the wrap.
+	for _, s := range m.DB.History(paths[0].ID, metrics.Throughput, 0) {
+		if !s.OK() {
+			continue
+		}
+		if s.Value < 1e6 || s.Value > 5e6 {
+			t.Fatalf("wrap-corrupted estimate: %v", s)
+		}
+	}
+}
+
+func TestFlowMeterThroughputIsPathSpecific(t *testing.T) {
+	// Two streams arrive at c5: the monitored s1->c5 stream and cross
+	// traffic from w-eth-1. Interface-counter throughput lumps them
+	// together; the flow meter attributes only the monitored pair.
+	k := sim.NewKernel()
+	defer k.Close()
+	h := topo.BuildHiPerD(k, 1)
+	netsim.NewSink(h.Clients[4], 9)
+	netsim.NewSink(h.Clients[4], 10)
+	(&netsim.CBRSource{Src: h.Servers[0], Dst: "c5", DstPort: 9,
+		Size: 8192, Interval: 30 * time.Millisecond}).Run() // ~2.2 Mb/s
+	(&netsim.CBRSource{Src: h.Net.Node("w-eth-1"), Dst: "c5", DstPort: 10,
+		Size: 1000, Interval: 4 * time.Millisecond}).Run() // ~2 Mb/s cross
+
+	path := core.NewPath(h.ServerRefs()[0], h.ClientRefs()[4])
+	req := core.Request{Paths: []core.Path{path}, Metrics: []metrics.Metric{metrics.Throughput}}
+
+	counterMon := New(h.Mgmt, "public", 2*time.Second)
+	counterMon.Submit(req)
+	counterMon.Start()
+
+	// The second management station lives on another host (its trap sink
+	// needs its own port 162) and shares the already-deployed agents.
+	flowMon := New(h.Net.Node("w-eth-2"), "public", 2*time.Second)
+	flowMon.Agents = counterMon.Agents
+	meter := flowmeter.New(k).AddRule(flowmeter.Rule{Granularity: flowmeter.ByHostPair})
+	meter.Attach(h.Eth)
+	flowMon.UseFlowMeter(meter)
+	flowMon.Submit(req)
+	flowMon.Start()
+
+	k.RunUntil(30 * time.Second)
+	counterTP, _ := counterMon.Query(path.ID, metrics.Throughput)
+	flowTP, _ := flowMon.Query(path.ID, metrics.Throughput)
+	if !counterTP.OK() || !flowTP.OK() {
+		t.Fatalf("measurements: %v / %v", counterTP, flowTP)
+	}
+	appWire := float64(8192+netsim.HeaderOverhead) * 8 / 0.03 // ≈2.19 Mb/s
+	// Counter delta sees both streams: well above the monitored stream.
+	if counterTP.Value < appWire*1.5 {
+		t.Fatalf("counter estimate %.3g should include cross traffic (app %.3g)", counterTP.Value, appWire)
+	}
+	// Flow meter attributes only s1->c5 (within framing overhead).
+	if rel := metrics.RelErr(flowTP.Value, appWire); rel > 0.1 {
+		t.Fatalf("flow estimate %.3g vs app wire %.3g (rel %.3f)", flowTP.Value, appWire, rel)
+	}
+}

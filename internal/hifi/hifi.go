@@ -1,0 +1,264 @@
+// Package hifi implements the paper's High Fidelity network resource
+// monitor (§5.1, Figure 5): a custom monitor built on the NTTCP analysis
+// tool.
+//
+// The NetMon collector receives the resource manager's request and formats
+// it for the test sequencer. RTDS client simulators (NTTCP responders) run
+// on every client-pool host; RTDS server simulators (NTTCP measurement
+// clients configured to mimic the RTDS traffic shape, L=8192 B every
+// P=30 ms) run on every server-pool host. The test sequencer drives the
+// server simulators either serially — the paper's sequencer, reducing peak
+// overhead from C·S·(L/P) ≈ 59 Mb/s to L/P ≈ 2.18 Mb/s at the cost of
+// senescence C·S·T — or in parallel, or with bounded concurrency (the
+// ablation knob).
+package hifi
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/nttcp"
+	"repro/internal/sim"
+)
+
+// Monitor is the high-fidelity instantiation of the core architecture.
+type Monitor struct {
+	core.DirectorBase
+
+	// Cfg is the NTTCP configuration, tuned to mimic the application
+	// (§5.1.2: inter-send time and message length set experimentally).
+	Cfg nttcp.Config
+	// Concurrency bounds simultaneous path measurements: 1 is the paper's
+	// test sequencer; >= number of paths is the fully parallel variant.
+	Concurrency int
+	// SweepInterval pauses between full sweeps of the path list; zero
+	// means continuous monitoring.
+	SweepInterval time.Duration
+
+	// Sweeps counts completed passes over the path list; SweepTime is the
+	// duration of the last complete sweep (C·S·T for the sequencer).
+	Sweeps    int
+	SweepTime time.Duration
+	// TrafficBytes accumulates measurement overhead put on the wire.
+	TrafficBytes int64
+
+	host       *netsim.Node
+	nw         *netsim.Network
+	serverSims map[netsim.Addr]*nttcp.Client
+	responders map[netsim.Addr]*nttcp.Server
+	started    bool
+}
+
+var _ core.Monitor = (*Monitor)(nil)
+
+// New creates the monitor with its collector on host (typically the
+// management station).
+func New(host *netsim.Node, cfg nttcp.Config, concurrency int) *Monitor {
+	if concurrency < 1 {
+		concurrency = 1
+	}
+	return &Monitor{
+		DirectorBase: core.NewDirectorBase(host.Network().K),
+		Cfg:          cfg,
+		Concurrency:  concurrency,
+		host:         host,
+		nw:           host.Network(),
+		serverSims:   make(map[netsim.Addr]*nttcp.Client),
+		responders:   make(map[netsim.Addr]*nttcp.Server),
+	}
+}
+
+// Submit installs the request and provisions simulators on every host the
+// path list touches: a server simulator (measurement client) at each path
+// origin and a client simulator (responder) at each destination.
+func (m *Monitor) Submit(req core.Request) {
+	m.DirectorBase.Submit(req)
+	for _, path := range req.Paths {
+		if !path.Valid() {
+			continue
+		}
+		from := path.Hops[0].Host
+		to := path.Hops[len(path.Hops)-1].Host
+		if _, ok := m.serverSims[from]; !ok {
+			node := m.nw.Node(from)
+			if node == nil {
+				continue
+			}
+			m.serverSims[from] = nttcp.NewClient(node, m.Cfg)
+		}
+		if _, ok := m.responders[to]; !ok {
+			node := m.nw.Node(to)
+			if node == nil {
+				continue
+			}
+			m.responders[to] = nttcp.StartServer(node, 0)
+		}
+	}
+}
+
+// Start spawns the NetMon collector / test sequencer proc.
+func (m *Monitor) Start() {
+	if m.started {
+		return
+	}
+	m.started = true
+	m.host.Spawn("netmon-collector", func(p *sim.Proc) {
+		for !m.Stopped() {
+			req, ok := m.Request()
+			if !ok || len(req.Paths) == 0 {
+				p.Sleep(100 * time.Millisecond)
+				continue
+			}
+			start := p.Now()
+			m.sweep(p, req)
+			m.Sweeps++
+			m.SweepTime = p.Now() - start
+			if m.SweepInterval > 0 {
+				p.Sleep(m.SweepInterval)
+			} else {
+				p.Yield()
+			}
+		}
+	})
+}
+
+// sweep measures every path once, honoring the concurrency bound. Paths
+// are grouped by origin server, matching the sequencer's server-by-server
+// operation in Figure 5.
+func (m *Monitor) sweep(p *sim.Proc, req core.Request) {
+	paths := orderByServer(req.Paths)
+	if m.Concurrency == 1 {
+		for _, path := range paths {
+			for _, meas := range m.measurePath(p, path, req.Metrics) {
+				m.Publish(meas)
+			}
+		}
+		return
+	}
+	// Bounded-parallel: dispatch up to Concurrency measurements at once
+	// onto per-path procs running on the origin hosts.
+	done := sim.NewQueue[[]core.Measurement](m.nw.K, 0)
+	inFlight := 0
+	launch := func(path core.Path) {
+		node := m.nw.Node(path.Hops[0].Host)
+		node.Spawn("rtds-server-sim", func(sp *sim.Proc) {
+			done.Put(m.measurePath(sp, path, req.Metrics))
+		})
+	}
+	for _, path := range paths {
+		for inFlight >= m.Concurrency {
+			if batch, ok := done.Get(p, -1); ok {
+				inFlight--
+				for _, meas := range batch {
+					m.Publish(meas)
+				}
+			}
+		}
+		launch(path)
+		inFlight++
+	}
+	for inFlight > 0 {
+		if batch, ok := done.Get(p, -1); ok {
+			inFlight--
+			for _, meas := range batch {
+				m.Publish(meas)
+			}
+		}
+	}
+}
+
+// orderByServer stably groups the path list by origin host, preserving the
+// resource manager's order within each group.
+func orderByServer(paths []core.Path) []core.Path {
+	var order []netsim.Addr
+	groups := make(map[netsim.Addr][]core.Path)
+	for _, p := range paths {
+		if !p.Valid() {
+			continue
+		}
+		from := p.Hops[0].Host
+		if _, ok := groups[from]; !ok {
+			order = append(order, from)
+		}
+		groups[from] = append(groups[from], p)
+	}
+	out := make([]core.Path, 0, len(paths))
+	for _, from := range order {
+		out = append(out, groups[from]...)
+	}
+	return out
+}
+
+// MeasurePath runs the NTTCP burst for one path on demand and converts the
+// result to (path, metric)-tuples for the requested metrics. The hybrid
+// monitor uses it for targeted high-fidelity rechecks; the sweep loop uses
+// it for every path. The caller's proc must be allowed to run on any node
+// (the measurement traffic originates at the path's first hop regardless).
+func (m *Monitor) MeasurePath(p *sim.Proc, path core.Path, wanted []metrics.Metric) []core.Measurement {
+	return m.measurePath(p, path, wanted)
+}
+
+func (m *Monitor) measurePath(p *sim.Proc, path core.Path, wanted []metrics.Metric) []core.Measurement {
+	from := path.Hops[0].Host
+	to := path.Hops[len(path.Hops)-1].Host
+	cli := m.serverSims[from]
+	if cli == nil {
+		return failAll(path.ID, wanted, p.Now(), "no server simulator on "+string(from))
+	}
+	res, err := cli.Measure(p, to, 0)
+	m.TrafficBytes += res.OverheadBytes
+	now := p.Now()
+	out := make([]core.Measurement, 0, len(wanted))
+	for _, metric := range wanted {
+		meas := core.Measurement{Path: path.ID, Metric: metric, TakenAt: now, Quality: core.QualityDirect}
+		switch metric {
+		case metrics.Reachability:
+			// Knowing the peer is unreachable is itself a successful
+			// reachability measurement.
+			if res.Reached {
+				meas.Value = 1
+			}
+		case metrics.Throughput:
+			if err != nil {
+				meas.Err = err.Error()
+			} else {
+				meas.Value = res.ThroughputBps
+			}
+		case metrics.OneWayLatency:
+			if err != nil {
+				meas.Err = err.Error()
+			} else {
+				meas.Value = res.OneWayLatency.Seconds()
+			}
+		}
+		out = append(out, meas)
+	}
+	return out
+}
+
+func failAll(id core.PathID, wanted []metrics.Metric, now time.Duration, why string) []core.Measurement {
+	out := make([]core.Measurement, len(wanted))
+	for i, metric := range wanted {
+		out[i] = core.Measurement{Path: id, Metric: metric, TakenAt: now, Err: why}
+	}
+	return out
+}
+
+// PeakOverheadBps returns the analytic peak monitoring load for n
+// simultaneous paths with the monitor's configuration — the paper's
+// C·S·(L/P) formula when n = C·S.
+func (m *Monitor) PeakOverheadBps(n int) float64 {
+	return float64(n) * nttcp.PeakOverheadBps(m.Cfg)
+}
+
+// String describes the monitor configuration.
+func (m *Monitor) String() string {
+	mode := "sequencer"
+	if m.Concurrency > 1 {
+		mode = fmt.Sprintf("concurrency=%d", m.Concurrency)
+	}
+	return fmt.Sprintf("hifi(%s, L=%d, P=%v)", mode, m.Cfg.MsgLen, m.Cfg.InterSend)
+}

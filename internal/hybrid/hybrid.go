@@ -1,0 +1,161 @@
+// Package hybrid implements the monitor the paper's §7 calls "a promising
+// approach": a hybrid of the scalable COTS implementation and the
+// high-fidelity NTTCP implementation.
+//
+// The COTS side performs cheap, approximate background surveillance of the
+// whole path list. Whenever a path's approximate measurement looks anomalous
+// — unreachable, failed, or throughput below a threshold — the monitor
+// launches a targeted NTTCP burst on just that path and publishes the
+// high-fidelity result. The system pays NTTCP's intrusiveness only where
+// and when something seems wrong, and pays SNMP's fidelity ceiling only
+// where nothing does.
+package hybrid
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cots"
+	"repro/internal/hifi"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/nttcp"
+	"repro/internal/sim"
+)
+
+// Config tunes the hybrid's escalation rule.
+type Config struct {
+	// PollInterval is the COTS background polling period.
+	PollInterval time.Duration
+	// MinThroughputBps marks approximate throughput below this anomalous.
+	MinThroughputBps float64
+	// RecheckCooldown bounds how often one path may be escalated.
+	RecheckCooldown time.Duration
+	// NTTCP is the burst configuration for targeted measurements.
+	NTTCP nttcp.Config
+}
+
+func (c Config) withDefaults() Config {
+	if c.PollInterval <= 0 {
+		c.PollInterval = 5 * time.Second
+	}
+	if c.RecheckCooldown <= 0 {
+		c.RecheckCooldown = 2 * c.PollInterval
+	}
+	return c
+}
+
+// Monitor is the hybrid instantiation of the core architecture.
+type Monitor struct {
+	core.DirectorBase
+
+	Cfg Config
+	// Escalations counts targeted NTTCP measurements triggered.
+	Escalations int
+
+	cotsMon     *cots.Monitor
+	hifiMon     *hifi.Monitor
+	host        *netsim.Node
+	paths       map[core.PathID]core.Path
+	lastRecheck map[core.PathID]time.Duration
+	started     bool
+}
+
+var _ core.Monitor = (*Monitor)(nil)
+
+// New creates the hybrid monitor with its director on host.
+func New(host *netsim.Node, community string, cfg Config) *Monitor {
+	cfg = cfg.withDefaults()
+	m := &Monitor{
+		DirectorBase: core.NewDirectorBase(host.Network().K),
+		Cfg:          cfg,
+		cotsMon:      cots.New(host, community, cfg.PollInterval),
+		hifiMon:      hifi.New(host, cfg.NTTCP, 1),
+		host:         host,
+		paths:        make(map[core.PathID]core.Path),
+		lastRecheck:  make(map[core.PathID]time.Duration),
+	}
+	return m
+}
+
+// COTS exposes the surveillance sub-monitor (for traffic accounting).
+func (m *Monitor) COTS() *cots.Monitor { return m.cotsMon }
+
+// HiFi exposes the targeted sub-monitor (for traffic accounting).
+func (m *Monitor) HiFi() *hifi.Monitor { return m.hifiMon }
+
+// Submit installs the request on both sub-monitors; the COTS side runs it
+// asynchronously, the hifi side only provisions its simulators.
+func (m *Monitor) Submit(req core.Request) {
+	m.DirectorBase.Submit(req)
+	for _, p := range req.Paths {
+		m.paths[p.ID] = p
+	}
+	cotsReq := req
+	cotsReq.Mode = core.ReportAsync
+	m.cotsMon.Submit(cotsReq)
+	m.hifiMon.Submit(req) // provisions sims; hifiMon.Start is never called
+}
+
+// Start begins background surveillance and the escalation loop.
+func (m *Monitor) Start() {
+	if m.started {
+		return
+	}
+	m.started = true
+	m.cotsMon.Start()
+	m.host.Spawn("hybrid-director", func(p *sim.Proc) {
+		for !m.Stopped() {
+			meas, ok := m.cotsMon.Reports().Get(p, time.Second)
+			if !ok {
+				continue
+			}
+			m.Publish(meas) // the approximate view is still a view
+			if m.anomalous(meas) {
+				m.maybeEscalate(p, meas)
+			}
+		}
+	})
+}
+
+// anomalous applies the escalation rule to an approximate measurement.
+func (m *Monitor) anomalous(meas core.Measurement) bool {
+	switch {
+	case meas.Metric == metrics.Reachability && !meas.Reached():
+		return true
+	case !meas.OK():
+		// Failed collections include SNMP timeouts and counter warm-up;
+		// only timeouts are anomalies worth burst traffic.
+		return meas.Err == "snmp: request timed out"
+	case meas.Metric == metrics.Throughput && m.Cfg.MinThroughputBps > 0 &&
+		meas.Value < m.Cfg.MinThroughputBps:
+		return true
+	}
+	return false
+}
+
+// maybeEscalate runs a targeted NTTCP measurement unless the path was
+// rechecked too recently.
+func (m *Monitor) maybeEscalate(p *sim.Proc, meas core.Measurement) {
+	path, ok := m.paths[meas.Path]
+	if !ok {
+		return
+	}
+	now := p.Now()
+	if last, ok := m.lastRecheck[path.ID]; ok && now-last < m.Cfg.RecheckCooldown {
+		return
+	}
+	m.lastRecheck[path.ID] = now
+	m.Escalations++
+	req, _ := m.Request()
+	for _, direct := range m.hifiMon.MeasurePath(p, path, req.Metrics) {
+		m.Publish(direct)
+	}
+}
+
+// String describes the monitor configuration.
+func (m *Monitor) String() string {
+	return fmt.Sprintf("hybrid(poll=%v, minTP=%.3g, escalations=%d)",
+		m.Cfg.PollInterval, m.Cfg.MinThroughputBps, m.Escalations)
+}

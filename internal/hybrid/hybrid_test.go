@@ -1,0 +1,118 @@
+package hybrid
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/nttcp"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+var allMetrics = []metrics.Metric{metrics.Throughput, metrics.OneWayLatency, metrics.Reachability}
+
+func build(t *testing.T, cfg Config) (*sim.Kernel, *topo.HiPerD, *Monitor) {
+	t.Helper()
+	k := sim.NewKernel()
+	t.Cleanup(k.Close)
+	h := topo.BuildHiPerD(k, 1)
+	if cfg.NTTCP.MsgLen == 0 {
+		cfg.NTTCP = nttcp.Config{MsgLen: 1024, InterSend: 5 * time.Millisecond, Count: 8, Timeout: 500 * time.Millisecond}
+	}
+	m := New(h.Mgmt, "public", cfg)
+	return k, h, m
+}
+
+func TestQuietSystemNeverEscalates(t *testing.T) {
+	k, h, m := build(t, Config{PollInterval: time.Second})
+	m.Submit(core.Request{Paths: h.PathList()[:6], Metrics: []metrics.Metric{metrics.Reachability}})
+	m.Start()
+	k.RunUntil(20 * time.Second)
+	if m.Escalations != 0 {
+		t.Fatalf("escalations = %d on a healthy system", m.Escalations)
+	}
+	// Approximate surveillance data is flowing.
+	r, ok := m.Query(h.PathList()[0].ID, metrics.Reachability)
+	if !ok || !r.Reached() || r.Quality != core.QualityApproximate {
+		t.Fatalf("surveillance data: %v %v", r, ok)
+	}
+}
+
+func TestFailureTriggersTargetedRecheck(t *testing.T) {
+	k, h, m := build(t, Config{PollInterval: time.Second})
+	paths := core.CrossProductPaths(h.ServerRefs()[:1], h.ClientRefs()[:3])
+	m.Submit(core.Request{Paths: paths, Metrics: allMetrics})
+	m.Start()
+	k.At(5*time.Second, func() { h.Clients[0].SetUp(false) })
+	k.RunUntil(30 * time.Second)
+	if m.Escalations == 0 {
+		t.Fatal("dead client never escalated to NTTCP recheck")
+	}
+	// The direct recheck confirmed unreachability.
+	r, ok := m.Query(paths[0].ID, metrics.Reachability)
+	if !ok || r.Reached() {
+		t.Fatalf("post-failure reachability: %v %v", r, ok)
+	}
+	// Healthy paths were never burst-tested: escalations stay bounded by
+	// the one dead path's rechecks.
+	maxRechecks := int(25/2) + 1 // cooldown = 2s over 25s of failure
+	if m.Escalations > maxRechecks {
+		t.Fatalf("escalations = %d, want <= %d (cooldown)", m.Escalations, maxRechecks)
+	}
+}
+
+func TestEscalationPublishesDirectQuality(t *testing.T) {
+	k, h, m := build(t, Config{PollInterval: time.Second})
+	paths := core.CrossProductPaths(h.ServerRefs()[:1], h.ClientRefs()[:1])
+	m.Submit(core.Request{Paths: paths, Metrics: allMetrics})
+	m.Start()
+	k.At(3*time.Second, func() { h.Clients[0].SetUp(false) })
+	k.RunUntil(15 * time.Second)
+	hist := m.DB.History(paths[0].ID, metrics.Reachability, 0)
+	sawDirect := false
+	for _, s := range hist {
+		if s.Quality == core.QualityDirect {
+			sawDirect = true
+		}
+	}
+	if !sawDirect {
+		t.Fatal("no direct-quality measurement after escalation")
+	}
+}
+
+func TestHybridCheaperThanAlwaysOnHiFi(t *testing.T) {
+	// The §7 rationale: during healthy operation the hybrid's measurement
+	// traffic is only the COTS polling, far below a continuous NTTCP sweep.
+	k, h, m := build(t, Config{PollInterval: 2 * time.Second})
+	m.Submit(core.Request{Paths: h.PathList(), Metrics: allMetrics})
+	m.Start()
+	k.RunUntil(60 * time.Second)
+	if m.HiFi().TrafficBytes != 0 {
+		t.Fatalf("hifi traffic %d bytes on a healthy system", m.HiFi().TrafficBytes)
+	}
+	snmpBps := float64(m.COTS().Client.Stats.BytesSent+m.COTS().Client.Stats.BytesRecv) * 8 / 60
+	alwaysOn := 27.0 * nttcp.PeakOverheadBps(nttcp.Config{MsgLen: 8192, InterSend: 30 * time.Millisecond})
+	if snmpBps > alwaysOn/100 {
+		t.Fatalf("hybrid background load %.0f b/s not << always-on %.0f b/s", snmpBps, alwaysOn)
+	}
+}
+
+func TestLowThroughputEscalates(t *testing.T) {
+	k, h, m := build(t, Config{PollInterval: time.Second, MinThroughputBps: 100e6})
+	// Threshold far above anything the counters will show: every
+	// post-warm-up throughput sample is anomalous; cooldown bounds bursts.
+	paths := core.CrossProductPaths(h.ServerRefs()[:1], h.ClientRefs()[:1])
+	m.Submit(core.Request{Paths: paths, Metrics: []metrics.Metric{metrics.Throughput}})
+	m.Start()
+	k.RunUntil(20 * time.Second)
+	if m.Escalations == 0 {
+		t.Fatal("below-threshold throughput never escalated")
+	}
+	tp, ok := m.Query(paths[0].ID, metrics.Throughput)
+	if !ok {
+		t.Fatal("no throughput recorded")
+	}
+	_ = tp
+}

@@ -1,0 +1,341 @@
+// Package manager implements the resource manager of Figure 1: it consumes
+// (path, metric)-tuples from a network resource monitor, evaluates them
+// against the system's requirements, and achieves survivability by
+// reconfiguring the system — "when the resource manager determines that a
+// process fails or becomes unreachable from reports received by its
+// resource monitors, it selects a new host on which to resume the operation
+// of the failed process" (§5.1).
+package manager
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// Policy states the system's requirements on each monitored path.
+type Policy struct {
+	// RequireReachable fails a process whose paths are unreachable.
+	RequireReachable bool
+	// MinThroughputBps, when > 0, is the floor for path throughput.
+	MinThroughputBps float64
+	// MaxLatency, when > 0, is the ceiling for path one-way latency.
+	MaxLatency time.Duration
+	// Grace is how many consecutive evaluations a process may fail before
+	// reconfiguration (transient tolerance).
+	Grace int
+	// EvalInterval is how often placements are evaluated.
+	EvalInterval time.Duration
+	// HostCooldown keeps a host that just lost a process out of the
+	// placement pools for this long, so a flapping host is not
+	// immediately reused.
+	HostCooldown time.Duration
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.Grace <= 0 {
+		p.Grace = 2
+	}
+	if p.EvalInterval <= 0 {
+		p.EvalInterval = time.Second
+	}
+	return p
+}
+
+// Placement is a managed process's current host assignment.
+type Placement struct {
+	Process     string
+	Role        string
+	Host        netsim.Addr
+	Since       time.Duration
+	Incarnation int
+}
+
+// Reconfig records one reconfiguration decision.
+type Reconfig struct {
+	At      time.Duration
+	Process string
+	From    netsim.Addr
+	To      netsim.Addr
+	Reason  string
+}
+
+func (r Reconfig) String() string {
+	return fmt.Sprintf("[%v] %s: %s -> %s (%s)", r.At, r.Process, r.From, r.To, r.Reason)
+}
+
+// Manager is the resource manager.
+type Manager struct {
+	Policy Policy
+	// Metrics is the metric set requested from the monitor; defaults to
+	// all three §4.2 metrics filtered by the policy's needs.
+	Metrics []metrics.Metric
+	// OnReconfig is invoked after each placement change, so the
+	// application layer can restart the process on its new host.
+	OnReconfig func(Reconfig)
+
+	// Reconfigs is the decision log.
+	Reconfigs []Reconfig
+
+	host       *netsim.Node
+	mon        core.Monitor
+	pools      map[string][]netsim.Addr
+	used       map[netsim.Addr]string // host -> process occupying it
+	placed     map[string]*Placement
+	order      []string // placement creation order (determinism)
+	badRuns    map[string]int
+	lastFailed map[netsim.Addr]time.Duration
+	started    bool
+}
+
+// New creates a resource manager on host, reading from mon.
+func New(host *netsim.Node, mon core.Monitor, policy Policy) *Manager {
+	m := &Manager{
+		Policy:     policy.withDefaults(),
+		host:       host,
+		mon:        mon,
+		pools:      make(map[string][]netsim.Addr),
+		used:       make(map[netsim.Addr]string),
+		placed:     make(map[string]*Placement),
+		badRuns:    make(map[string]int),
+		lastFailed: make(map[netsim.Addr]time.Duration),
+	}
+	m.Metrics = []metrics.Metric{metrics.Reachability}
+	if m.Policy.MinThroughputBps > 0 {
+		m.Metrics = append(m.Metrics, metrics.Throughput)
+	}
+	if m.Policy.MaxLatency > 0 {
+		m.Metrics = append(m.Metrics, metrics.OneWayLatency)
+	}
+	return m
+}
+
+// DefinePool registers the replicated host pool for a role.
+func (m *Manager) DefinePool(role string, hosts []netsim.Addr) {
+	m.pools[role] = append([]netsim.Addr(nil), hosts...)
+}
+
+// Place assigns a new managed process of the given role to the first free
+// pool host. It returns the placement or an error when the pool is
+// exhausted.
+func (m *Manager) Place(process, role string) (*Placement, error) {
+	host, ok := m.freeHost(role)
+	if !ok {
+		return nil, fmt.Errorf("manager: pool %q exhausted placing %s", role, process)
+	}
+	pl := &Placement{Process: process, Role: role, Host: host, Since: m.host.Network().K.Now()}
+	m.placed[process] = pl
+	m.order = append(m.order, process)
+	m.used[host] = process
+	return pl, nil
+}
+
+func (m *Manager) freeHost(role string) (netsim.Addr, bool) {
+	now := m.host.Network().K.Now()
+	for _, h := range m.pools[role] {
+		if _, taken := m.used[h]; taken {
+			continue
+		}
+		if failedAt, failed := m.lastFailed[h]; failed && m.Policy.HostCooldown > 0 &&
+			now-failedAt < m.Policy.HostCooldown {
+			continue
+		}
+		if node := m.host.Network().Node(h); node != nil && node.Up() {
+			return h, true
+		}
+	}
+	return "", false
+}
+
+// Placement returns the current placement of a process.
+func (m *Manager) Placement(process string) (*Placement, bool) {
+	pl, ok := m.placed[process]
+	return pl, ok
+}
+
+// Placements lists all placements in creation order.
+func (m *Manager) Placements() []*Placement {
+	out := make([]*Placement, 0, len(m.order))
+	for _, name := range m.order {
+		out = append(out, m.placed[name])
+	}
+	return out
+}
+
+// PathList builds the monitoring path list between every placement of
+// roleFrom and every placement of roleTo (the Figure 4(b) construction over
+// live placements).
+func (m *Manager) PathList(roleFrom, roleTo string) []core.Path {
+	var from, to []core.ProcessRef
+	for _, name := range m.order {
+		pl := m.placed[name]
+		switch pl.Role {
+		case roleFrom:
+			from = append(from, core.ProcessRef{Host: pl.Host, Process: pl.Process})
+		case roleTo:
+			to = append(to, core.ProcessRef{Host: pl.Host, Process: pl.Process})
+		}
+	}
+	return core.CrossProductPaths(from, to)
+}
+
+// Monitor exposes the attached monitor.
+func (m *Manager) Monitor() core.Monitor { return m.mon }
+
+// Start submits the monitoring request for paths between the two roles and
+// begins the evaluation loop.
+func (m *Manager) Start(roleFrom, roleTo string) {
+	if m.started {
+		return
+	}
+	m.started = true
+	m.submit(roleFrom, roleTo)
+	m.host.Spawn("resource-manager", func(p *sim.Proc) {
+		for {
+			p.Sleep(m.Policy.EvalInterval)
+			m.evaluate(p, roleFrom, roleTo)
+		}
+	})
+}
+
+func (m *Manager) submit(roleFrom, roleTo string) {
+	m.mon.Submit(core.Request{
+		Paths:   m.PathList(roleFrom, roleTo),
+		Metrics: m.Metrics,
+	})
+}
+
+// evaluate inspects the database's current values for every path and
+// reconfigures processes that persistently violate policy.
+func (m *Manager) evaluate(p *sim.Proc, roleFrom, roleTo string) {
+	paths := m.PathList(roleFrom, roleTo)
+	type verdict struct {
+		bad, seen int
+	}
+	verdicts := make(map[string]*verdict) // per process
+	record := func(proc string, bad bool) {
+		v := verdicts[proc]
+		if v == nil {
+			v = &verdict{}
+			verdicts[proc] = v
+		}
+		v.seen++
+		if bad {
+			v.bad++
+		}
+	}
+	for _, path := range paths {
+		bad, have := m.pathViolates(path.ID)
+		if !have {
+			continue
+		}
+		for _, hop := range path.Hops {
+			record(hop.Process, bad)
+		}
+	}
+	// A process has failed when every path touching it is bad; if every
+	// process looks failed (e.g. total network partition at the monitor),
+	// nothing is singled out and no reconfiguration happens.
+	var failed []string
+	healthySomewhere := false
+	for _, name := range m.order {
+		v := verdicts[name]
+		if v == nil || v.seen == 0 {
+			continue
+		}
+		if v.bad == v.seen {
+			failed = append(failed, name)
+		} else {
+			healthySomewhere = true
+		}
+	}
+	if !healthySomewhere && len(failed) == len(m.order) && len(m.order) > 1 {
+		return
+	}
+	for _, name := range m.order {
+		isFailed := false
+		for _, f := range failed {
+			if f == name {
+				isFailed = true
+			}
+		}
+		if !isFailed {
+			m.badRuns[name] = 0
+			continue
+		}
+		m.badRuns[name]++
+		if m.badRuns[name] >= m.Policy.Grace {
+			m.failover(p, name, roleFrom, roleTo)
+			m.badRuns[name] = 0
+		}
+	}
+}
+
+// pathViolates checks the current database values for one path against the
+// policy. have is false when no data exists yet.
+func (m *Manager) pathViolates(id core.PathID) (bad, have bool) {
+	if m.Policy.RequireReachable {
+		r, ok := m.mon.Query(id, metrics.Reachability)
+		if ok {
+			have = true
+			if !r.Reached() {
+				return true, true
+			}
+		}
+	}
+	if m.Policy.MinThroughputBps > 0 {
+		tp, ok := m.mon.Query(id, metrics.Throughput)
+		if ok && tp.OK() {
+			have = true
+			if tp.Value < m.Policy.MinThroughputBps {
+				return true, true
+			}
+		} else if ok && !tp.OK() {
+			have = true
+			return true, true
+		}
+	}
+	if m.Policy.MaxLatency > 0 {
+		lat, ok := m.mon.Query(id, metrics.OneWayLatency)
+		if ok && lat.OK() {
+			have = true
+			if lat.Value > m.Policy.MaxLatency.Seconds() {
+				return true, true
+			}
+		}
+	}
+	return false, have
+}
+
+// failover moves a process to a fresh pool host and resubmits monitoring.
+func (m *Manager) failover(p *sim.Proc, process, roleFrom, roleTo string) {
+	pl := m.placed[process]
+	if pl == nil {
+		return
+	}
+	newHost, ok := m.freeHost(pl.Role)
+	if !ok {
+		m.Reconfigs = append(m.Reconfigs, Reconfig{
+			At: p.Now(), Process: process, From: pl.Host, To: pl.Host,
+			Reason: "pool exhausted: no spare host",
+		})
+		return
+	}
+	old := pl.Host
+	delete(m.used, old)
+	m.lastFailed[old] = p.Now()
+	m.used[newHost] = process
+	pl.Host = newHost
+	pl.Since = p.Now()
+	pl.Incarnation++
+	rec := Reconfig{At: p.Now(), Process: process, From: old, To: newHost, Reason: "policy violation"}
+	m.Reconfigs = append(m.Reconfigs, rec)
+	m.submit(roleFrom, roleTo)
+	if m.OnReconfig != nil {
+		m.OnReconfig(rec)
+	}
+}

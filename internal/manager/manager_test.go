@@ -1,0 +1,254 @@
+package manager
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/hifi"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/nttcp"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+func quickCfg() nttcp.Config {
+	return nttcp.Config{MsgLen: 512, InterSend: 2 * time.Millisecond, Count: 4, Timeout: 300 * time.Millisecond}
+}
+
+// build wires a HiPer-D testbed, a hifi monitor, and a manager with server
+// spares drawn from the FDDI workstations.
+func build(t *testing.T, policy Policy) (*sim.Kernel, *topo.HiPerD, *Manager) {
+	t.Helper()
+	k := sim.NewKernel()
+	t.Cleanup(k.Close)
+	h := topo.BuildHiPerD(k, 1)
+	mon := hifi.New(h.Mgmt, quickCfg(), 1)
+	mon.Start()
+	m := New(h.Mgmt, mon, policy)
+	serverPool := []netsim.Addr{"s1", "s2", "s3", "w-fddi-1", "w-fddi-2"}
+	clientPool := []netsim.Addr{"c1", "c2", "c3", "c5", "c6"}
+	m.DefinePool("server", serverPool)
+	m.DefinePool("client", clientPool)
+	for i := 1; i <= 3; i++ {
+		if _, err := m.Place(fmt.Sprintf("rtds-%d", i), "server"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i <= 3; i++ {
+		if _, err := m.Place(fmt.Sprintf("cl-%d", i), "client"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return k, h, m
+}
+
+func TestPlacementFillsPoolInOrder(t *testing.T) {
+	_, _, m := build(t, Policy{RequireReachable: true})
+	pl, _ := m.Placement("rtds-1")
+	if pl.Host != "s1" {
+		t.Fatalf("rtds-1 on %s", pl.Host)
+	}
+	pl3, _ := m.Placement("rtds-3")
+	if pl3.Host != "s3" {
+		t.Fatalf("rtds-3 on %s", pl3.Host)
+	}
+	if len(m.Placements()) != 6 {
+		t.Fatalf("placements = %d", len(m.Placements()))
+	}
+}
+
+func TestPoolExhaustion(t *testing.T) {
+	_, _, m := build(t, Policy{RequireReachable: true})
+	m.DefinePool("tiny", []netsim.Addr{"c9"})
+	if _, err := m.Place("x1", "tiny"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Place("x2", "tiny"); err == nil {
+		t.Fatal("second placement on one-host pool succeeded")
+	}
+}
+
+func TestPathListCrossProduct(t *testing.T) {
+	_, _, m := build(t, Policy{RequireReachable: true})
+	paths := m.PathList("server", "client")
+	if len(paths) != 9 {
+		t.Fatalf("paths = %d, want 3x3", len(paths))
+	}
+}
+
+func TestFailoverOnHostDeath(t *testing.T) {
+	k, h, m := build(t, Policy{RequireReachable: true, Grace: 2, EvalInterval: 500 * time.Millisecond})
+	var events []Reconfig
+	m.OnReconfig = func(r Reconfig) { events = append(events, r) }
+	m.Start("server", "client")
+	// Let monitoring warm up, then kill s2 (hosting rtds-2).
+	k.At(3*time.Second, func() { h.Servers[1].SetUp(false) })
+	k.RunUntil(30 * time.Second)
+	if len(events) == 0 {
+		t.Fatal("no reconfiguration after server death")
+	}
+	first := events[0]
+	if first.Process != "rtds-2" || first.From != "s2" {
+		t.Fatalf("reconfig = %v", first)
+	}
+	if first.To != "w-fddi-1" {
+		t.Fatalf("failover target = %s, want first spare w-fddi-1", first.To)
+	}
+	pl, _ := m.Placement("rtds-2")
+	if pl.Host != first.To || pl.Incarnation != 1 {
+		t.Fatalf("placement after failover: %+v", pl)
+	}
+	// The healthy processes were not disturbed.
+	for _, name := range []string{"rtds-1", "rtds-3", "cl-1", "cl-2", "cl-3"} {
+		pl, _ := m.Placement(name)
+		if pl.Incarnation != 0 {
+			t.Fatalf("%s was reconfigured: %+v", name, pl)
+		}
+	}
+	// New path list monitors the new host.
+	found := false
+	for _, p := range m.PathList("server", "client") {
+		if p.Hops[0].Host == first.To {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("path list does not include failover host")
+	}
+}
+
+func TestClientFailover(t *testing.T) {
+	k, h, m := build(t, Policy{RequireReachable: true, Grace: 2, EvalInterval: 500 * time.Millisecond})
+	m.Start("server", "client")
+	k.At(3*time.Second, func() { h.Clients[0].SetUp(false) }) // c1 hosts cl-1
+	k.RunUntil(30 * time.Second)
+	pl, _ := m.Placement("cl-1")
+	if pl.Host == "c1" {
+		t.Fatal("client process not moved off dead host")
+	}
+	if pl.Host != "c5" {
+		t.Fatalf("moved to %s, want first spare c5", pl.Host)
+	}
+}
+
+func TestGraceSuppressesTransients(t *testing.T) {
+	// A brief outage shorter than Grace evaluations must not reconfigure.
+	k, h, m := build(t, Policy{RequireReachable: true, Grace: 8, EvalInterval: 500 * time.Millisecond})
+	m.Start("server", "client")
+	k.At(3*time.Second, func() { h.Clients[0].SetUp(false) })
+	k.At(3500*time.Millisecond, func() { h.Clients[0].SetUp(true) })
+	k.RunUntil(20 * time.Second)
+	if len(m.Reconfigs) != 0 {
+		t.Fatalf("transient caused reconfiguration: %v", m.Reconfigs)
+	}
+}
+
+func TestTotalBlackoutDoesNotThrash(t *testing.T) {
+	// If everything goes down at once (manager-side partition), no single
+	// process is singled out and nothing should move. Grace must cover a
+	// full sweep of the (all-timing-out) path list, or stale good samples
+	// make early casualties look like isolated failures — the senescence
+	// effect §4.4 warns about.
+	k, h, m := build(t, Policy{RequireReachable: true, Grace: 8, EvalInterval: 500 * time.Millisecond})
+	m.Start("server", "client")
+	k.At(3*time.Second, func() {
+		for _, n := range append(append([]*netsim.Node{}, h.Servers...), h.Clients...) {
+			n.SetUp(false)
+		}
+	})
+	k.RunUntil(15 * time.Second)
+	if len(m.Reconfigs) != 0 {
+		t.Fatalf("blackout caused %d reconfigs: %v", len(m.Reconfigs), m.Reconfigs)
+	}
+}
+
+func TestThroughputPolicyUsesMetrics(t *testing.T) {
+	_, _, mgr := build(t, Policy{RequireReachable: true, MinThroughputBps: 1e5})
+	hasTP := false
+	for _, met := range mgr.Metrics {
+		if met == metrics.Throughput {
+			hasTP = true
+		}
+	}
+	if !hasTP {
+		t.Fatal("throughput policy did not request throughput metric")
+	}
+}
+
+func TestPoolExhaustedFailoverLogsButKeepsPlacement(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Close()
+	h := topo.BuildHiPerD(k, 1)
+	mon := hifi.New(h.Mgmt, quickCfg(), 1)
+	mon.Start()
+	m := New(h.Mgmt, mon, Policy{RequireReachable: true, Grace: 2, EvalInterval: 500 * time.Millisecond})
+	m.DefinePool("server", []netsim.Addr{"s1", "s2"}) // both in use: no spare
+	m.DefinePool("client", []netsim.Addr{"c1", "c2"})
+	m.Place("srv", "server")
+	m.Place("srv2", "server")
+	m.Place("cl", "client")
+	m.Start("server", "client")
+	k.At(2*time.Second, func() { h.Servers[0].SetUp(false) })
+	k.RunUntil(15 * time.Second)
+	found := false
+	for _, r := range m.Reconfigs {
+		if r.Reason == "pool exhausted: no spare host" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no pool-exhausted record: %v", m.Reconfigs)
+	}
+	pl, _ := m.Placement("srv")
+	if pl.Host != "s1" {
+		t.Fatalf("placement moved despite exhausted pool: %v", pl)
+	}
+}
+
+func TestPathIDsEmbedPlacements(t *testing.T) {
+	_, _, m := build(t, Policy{RequireReachable: true})
+	paths := m.PathList("server", "client")
+	if paths[0].ID != core.PathID("s1/rtds-1->c1/cl-1") {
+		t.Fatalf("path ID = %s", paths[0].ID)
+	}
+}
+
+func TestHostCooldownBlocksReuse(t *testing.T) {
+	// After rtds-2 leaves s2, a flapping s2 must not be chosen again
+	// within the cooldown even when another process needs a host.
+	k, h, m := build(t, Policy{RequireReachable: true, Grace: 2,
+		EvalInterval: 500 * time.Millisecond, HostCooldown: time.Hour})
+	m.Start("server", "client")
+	k.At(3*time.Second, func() { h.Servers[1].SetUp(false) })
+	// s2 comes right back up (flap) before the next failure.
+	k.At(12*time.Second, func() { h.Servers[1].SetUp(true) })
+	k.At(15*time.Second, func() { h.Servers[0].SetUp(false) }) // kill s1 too
+	k.RunUntil(60 * time.Second)
+	pl1, _ := m.Placement("rtds-1")
+	if pl1.Host == "s2" {
+		t.Fatal("flapping host reused within cooldown")
+	}
+	if pl1.Incarnation == 0 {
+		t.Fatalf("rtds-1 never failed over: %v", m.Reconfigs)
+	}
+}
+
+func TestLatencyPolicyViolation(t *testing.T) {
+	// A path whose latency exceeds the ceiling is a policy violation even
+	// while reachable.
+	k, _, m := build(t, Policy{RequireReachable: true, MaxLatency: time.Nanosecond,
+		Grace: 2, EvalInterval: 500 * time.Millisecond})
+	// Every real path has latency >> 1ns, so every process looks failed;
+	// the blackout guard must hold everything in place (no thrash), which
+	// is itself the correct behaviour for a policy that nothing can meet.
+	m.Start("server", "client")
+	k.RunUntil(15 * time.Second)
+	for _, pl := range m.Placements() {
+		if pl.Incarnation != 0 {
+			t.Fatalf("unsatisfiable policy caused thrash: %+v", pl)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+// Package metrics defines the network metrics of §4.2 of the paper and
+// small statistics helpers shared by sensors and the experiment harness.
+package metrics
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// Metric identifies one of the paper's network resource metrics.
+type Metric int
+
+// The three metrics of §4.2.
+const (
+	// Throughput is end-to-end application-layer throughput in bits/s.
+	Throughput Metric = iota
+	// OneWayLatency is application-to-application latency in seconds.
+	OneWayLatency
+	// Reachability is 1 when the destination can be reached, else 0.
+	Reachability
+)
+
+func (m Metric) String() string {
+	switch m {
+	case Throughput:
+		return "throughput"
+	case OneWayLatency:
+		return "one-way-latency"
+	case Reachability:
+		return "reachability"
+	default:
+		return "metric?"
+	}
+}
+
+// Unit returns the measurement unit for the metric.
+func (m Metric) Unit() string {
+	switch m {
+	case Throughput:
+		return "bits/s"
+	case OneWayLatency:
+		return "s"
+	case Reachability:
+		return "bool"
+	default:
+		return "?"
+	}
+}
+
+// Mean returns the arithmetic mean; 0 for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation; 0 for fewer than 2 points.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)-1))
+}
+
+// Percentile returns the p-th percentile (0..100) by nearest-rank; 0 for
+// empty input.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return sorted[rank]
+}
+
+// MinMax returns the extremes; zeros for empty input.
+func MinMax(xs []float64) (min, max float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max
+}
+
+// RelErr returns |got-want|/|want|, or 0 when want is 0.
+func RelErr(got, want float64) float64 {
+	if want == 0 {
+		return 0
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}
+
+// Durations converts to float seconds for the helpers above.
+func Durations(ds []time.Duration) []float64 {
+	out := make([]float64, len(ds))
+	for i, d := range ds {
+		out[i] = d.Seconds()
+	}
+	return out
+}

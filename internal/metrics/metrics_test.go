@@ -1,0 +1,123 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestMetricNamesAndUnits(t *testing.T) {
+	cases := []struct {
+		m          Metric
+		name, unit string
+	}{
+		{Throughput, "throughput", "bits/s"},
+		{OneWayLatency, "one-way-latency", "s"},
+		{Reachability, "reachability", "bool"},
+	}
+	for _, c := range cases {
+		if c.m.String() != c.name || c.m.Unit() != c.unit {
+			t.Fatalf("%v: %q/%q", c.m, c.m.String(), c.m.Unit())
+		}
+	}
+	if Metric(99).String() != "metric?" || Metric(99).Unit() != "?" {
+		t.Fatal("unknown metric formatting")
+	}
+}
+
+func TestMeanStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Fatalf("mean = %v", got)
+	}
+	// Sample stddev of this classic set is sqrt(32/7).
+	want := math.Sqrt(32.0 / 7.0)
+	if got := StdDev(xs); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("stddev = %v, want %v", got, want)
+	}
+	if Mean(nil) != 0 || StdDev(nil) != 0 || StdDev([]float64{1}) != 0 {
+		t.Fatal("empty/single-point edge cases")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if Percentile(xs, 50) != 5 {
+		t.Fatalf("p50 = %v", Percentile(xs, 50))
+	}
+	if Percentile(xs, 0) != 1 || Percentile(xs, 100) != 10 {
+		t.Fatal("extremes")
+	}
+	if Percentile(xs, 90) != 9 {
+		t.Fatalf("p90 = %v", Percentile(xs, 90))
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("empty percentile")
+	}
+	// Percentile must not mutate its input.
+	ys := []float64{3, 1, 2}
+	Percentile(ys, 50)
+	if ys[0] != 3 || ys[1] != 1 || ys[2] != 2 {
+		t.Fatalf("input mutated: %v", ys)
+	}
+}
+
+func TestMinMaxAndRelErr(t *testing.T) {
+	min, max := MinMax([]float64{3, -1, 7, 2})
+	if min != -1 || max != 7 {
+		t.Fatalf("minmax = %v, %v", min, max)
+	}
+	if min, max := MinMax(nil); min != 0 || max != 0 {
+		t.Fatal("empty minmax")
+	}
+	if RelErr(110, 100) != 0.1 {
+		t.Fatalf("relerr = %v", RelErr(110, 100))
+	}
+	if RelErr(90, 100) != 0.1 {
+		t.Fatal("relerr not absolute")
+	}
+	if RelErr(5, 0) != 0 {
+		t.Fatal("relerr with zero want")
+	}
+}
+
+func TestDurations(t *testing.T) {
+	out := Durations([]time.Duration{time.Second, 500 * time.Millisecond})
+	if len(out) != 2 || out[0] != 1 || out[1] != 0.5 {
+		t.Fatalf("durations = %v", out)
+	}
+}
+
+func TestPropertyStatsInvariants(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		mean := Mean(xs)
+		min, max := MinMax(xs)
+		if mean < min-1e-9 || mean > max+1e-9 {
+			return false
+		}
+		if StdDev(xs) < 0 {
+			return false
+		}
+		// Percentiles are monotone and bounded by the extremes.
+		prev := min
+		for p := 0.0; p <= 100; p += 10 {
+			v := Percentile(xs, p)
+			if v < prev-1e-9 || v > max+1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

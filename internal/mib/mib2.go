@@ -1,0 +1,231 @@
+package mib
+
+import (
+	"hash/fnv"
+	"sort"
+
+	"repro/internal/netsim"
+	"repro/internal/rstream"
+)
+
+// Well-known OID prefixes (RFC 1213 and friends).
+var (
+	Mgmt       = MustOID("1.3.6.1.2.1")
+	System     = MustOID("1.3.6.1.2.1.1")
+	SysDescr   = MustOID("1.3.6.1.2.1.1.1.0")
+	SysUpTime  = MustOID("1.3.6.1.2.1.1.3.0")
+	SysName    = MustOID("1.3.6.1.2.1.1.5.0")
+	Interfaces = MustOID("1.3.6.1.2.1.2")
+	IfNumber   = MustOID("1.3.6.1.2.1.2.1.0")
+	IfEntry    = MustOID("1.3.6.1.2.1.2.2.1")
+	TCP        = MustOID("1.3.6.1.2.1.6")
+	TCPConn    = MustOID("1.3.6.1.2.1.6.13.1")
+	UDPGroup   = MustOID("1.3.6.1.2.1.7")
+	RMONRoot   = MustOID("1.3.6.1.2.1.16")
+	Enterprise = MustOID("1.3.6.1.4.1.5307") // private arc for this stack
+)
+
+// ifEntry column numbers (RFC 1213 ifTable).
+const (
+	ifIndexCol       = 1
+	ifDescrCol       = 2
+	ifTypeCol        = 3
+	ifMtuCol         = 4
+	ifSpeedCol       = 5
+	ifOperStatusCol  = 8
+	ifInOctetsCol    = 10
+	ifInUcastCol     = 11
+	ifInDiscardsCol  = 13
+	ifInErrorsCol    = 14
+	ifOutOctetsCol   = 16
+	ifOutUcastCol    = 17
+	ifOutDiscardsCol = 19
+	ifOutErrorsCol   = 20
+)
+
+// tcpConnEntry column numbers.
+const (
+	tcpConnStateCol = 1
+	tcpConnLocalCol = 2
+	tcpConnLPortCol = 3
+	tcpConnRemCol   = 4
+	tcpConnRPortCol = 5
+)
+
+// PseudoIP derives a stable 4-byte pseudo IP address for a simulated node
+// name, so MIB table indices look like real tcpConnTable indices.
+func PseudoIP(a netsim.Addr) []byte {
+	h := fnv.New32a()
+	h.Write([]byte(a))
+	s := h.Sum(nil)
+	// Keep it in 10/8 to look plausible and avoid 0/255 first octet rules.
+	s[0] = 10
+	return s
+}
+
+// NodeView builds a MIB-II tree over a live simulated node: system group,
+// interfaces table, UDP counters, and a tcpConnTable fed by registered
+// stream listeners. Values are computed at query time from the node's live
+// counters, matching real agent behaviour (including Counter32 wrap).
+type NodeView struct {
+	Tree *Tree
+	node *netsim.Node
+
+	listeners []*rstream.Listener
+	dialed    []*rstream.Conn
+}
+
+// NewNodeView constructs the view and registers all groups.
+func NewNodeView(n *netsim.Node) *NodeView {
+	v := &NodeView{Tree: NewTree(), node: n}
+	v.registerSystem()
+	v.registerInterfaces()
+	v.registerIP()
+	v.registerUDP()
+	v.registerTCP()
+	v.registerIfX()
+	return v
+}
+
+// AddListener exposes a stream listener's connections in tcpConnTable.
+func (v *NodeView) AddListener(l *rstream.Listener) { v.listeners = append(v.listeners, l) }
+
+// AddConn exposes a dialed connection in tcpConnTable.
+func (v *NodeView) AddConn(c *rstream.Conn) { v.dialed = append(v.dialed, c) }
+
+func (v *NodeView) registerSystem() {
+	n := v.node
+	v.Tree.RegisterConst(SysDescr, Str("repro simulated agent ("+string(n.Name)+", "+n.Role.String()+")"))
+	v.Tree.RegisterConst(MustOID("1.3.6.1.2.1.1.2.0"), OIDVal(Enterprise.Append(1)))
+	v.Tree.RegisterScalar(SysUpTime, func() Value {
+		// TimeTicks are hundredths of a second of the host's local clock;
+		// clock granularity (§5.2.4) propagates into every delta computed
+		// from them.
+		return Ticks(uint64(n.LocalTime().Milliseconds() / 10))
+	})
+	v.Tree.RegisterConst(MustOID("1.3.6.1.2.1.1.4.0"), Str("NSWC-DD repro"))
+	v.Tree.RegisterConst(MustOID("1.3.6.1.2.1.1.5.0"), Str(string(n.Name)))
+	v.Tree.RegisterConst(MustOID("1.3.6.1.2.1.1.6.0"), Str("simulated testbed"))
+	v.Tree.RegisterConst(MustOID("1.3.6.1.2.1.1.7.0"), Int(72))
+}
+
+func (v *NodeView) registerInterfaces() {
+	n := v.node
+	v.Tree.RegisterScalar(IfNumber, func() Value { return Int(int64(len(n.Ifaces()))) })
+	v.Tree.RegisterSubtree(IfEntry, func() []Entry {
+		ifaces := n.Ifaces()
+		cols := []struct {
+			col int
+			get func(*netsim.Iface) Value
+		}{
+			{ifIndexCol, func(i *netsim.Iface) Value { return Int(int64(i.Index)) }},
+			{ifDescrCol, func(i *netsim.Iface) Value { return Str(i.Medium().Name()) }},
+			{ifTypeCol, func(i *netsim.Iface) Value { return Int(6) }}, // ethernetCsmacd as generic
+			{ifMtuCol, func(i *netsim.Iface) Value { return Int(1500) }},
+			{ifSpeedCol, func(i *netsim.Iface) Value { return Gauge(uint64(i.SpeedBps())) }},
+			{ifOperStatusCol, func(i *netsim.Iface) Value {
+				if i.Up() {
+					return Int(1)
+				}
+				return Int(2)
+			}},
+			{ifInOctetsCol, func(i *netsim.Iface) Value { return Counter(i.Counters.InOctets) }},
+			{ifInUcastCol, func(i *netsim.Iface) Value { return Counter(i.Counters.InPkts) }},
+			{ifInDiscardsCol, func(i *netsim.Iface) Value { return Counter(i.Counters.InDiscards) }},
+			{ifInErrorsCol, func(i *netsim.Iface) Value { return Counter(i.Counters.InErrors) }},
+			{ifOutOctetsCol, func(i *netsim.Iface) Value { return Counter(i.Counters.OutOctets) }},
+			{ifOutUcastCol, func(i *netsim.Iface) Value { return Counter(i.Counters.OutPkts) }},
+			{ifOutDiscardsCol, func(i *netsim.Iface) Value { return Counter(i.Counters.OutDiscards) }},
+			{ifOutErrorsCol, func(i *netsim.Iface) Value { return Counter(i.Counters.OutErrors) }},
+		}
+		entries := make([]Entry, 0, len(cols)*len(ifaces))
+		for _, c := range cols {
+			for _, ifc := range ifaces {
+				entries = append(entries, Entry{
+					OID:   IfEntry.Append(uint32(c.col), uint32(ifc.Index)),
+					Value: c.get(ifc),
+				})
+			}
+		}
+		return entries
+	})
+}
+
+func (v *NodeView) registerUDP() {
+	n := v.node
+	v.Tree.RegisterScalar(UDPGroup.Append(1, 0), func() Value { return Counter(n.Counters.UDPIn) })
+	v.Tree.RegisterScalar(UDPGroup.Append(2, 0), func() Value { return Counter(n.Counters.NoPort) })
+	v.Tree.RegisterScalar(UDPGroup.Append(4, 0), func() Value { return Counter(n.Counters.UDPOut) })
+}
+
+// tcpConnState maps rstream states onto RFC 1213 tcpConnState codes.
+func tcpConnState(s rstream.State) int64 {
+	switch s {
+	case rstream.StateClosed:
+		return 1
+	case rstream.StateListen:
+		return 2
+	case rstream.StateSynSent:
+		return 3
+	case rstream.StateSynReceived:
+		return 4
+	case rstream.StateEstablished:
+		return 5
+	case rstream.StateFinWait:
+		return 6
+	case rstream.StateCloseWait:
+		return 8
+	case rstream.StateTimeWait:
+		return 11
+	default:
+		return 1
+	}
+}
+
+func (v *NodeView) registerTCP() {
+	v.Tree.RegisterSubtree(TCPConn, func() []Entry {
+		var conns []*rstream.Conn
+		for _, l := range v.listeners {
+			conns = append(conns, l.Conns()...)
+		}
+		conns = append(conns, v.dialed...)
+		type row struct {
+			index OID
+			vars  rstream.StateVars
+		}
+		rows := make([]row, 0, len(conns))
+		for _, c := range conns {
+			vars := c.Vars()
+			lip, rip := PseudoIP(vars.LocalAddr), PseudoIP(vars.RemoteAddr)
+			idx := OID{
+				uint32(lip[0]), uint32(lip[1]), uint32(lip[2]), uint32(lip[3]),
+				uint32(vars.LocalPort),
+				uint32(rip[0]), uint32(rip[1]), uint32(rip[2]), uint32(rip[3]),
+				uint32(vars.RemotePort),
+			}
+			rows = append(rows, row{index: idx, vars: vars})
+		}
+		sort.Slice(rows, func(a, b int) bool { return rows[a].index.Cmp(rows[b].index) < 0 })
+		var entries []Entry
+		for col := tcpConnStateCol; col <= tcpConnRPortCol; col++ {
+			for _, r := range rows {
+				oid := TCPConn.Append(uint32(col)).Append(r.index...)
+				var val Value
+				switch col {
+				case tcpConnStateCol:
+					val = Int(tcpConnState(r.vars.State))
+				case tcpConnLocalCol:
+					val = IP(PseudoIP(r.vars.LocalAddr))
+				case tcpConnLPortCol:
+					val = Int(int64(r.vars.LocalPort))
+				case tcpConnRemCol:
+					val = IP(PseudoIP(r.vars.RemoteAddr))
+				case tcpConnRPortCol:
+					val = Int(int64(r.vars.RemotePort))
+				}
+				entries = append(entries, Entry{OID: oid, Value: val})
+			}
+		}
+		return entries
+	})
+}

@@ -1,0 +1,100 @@
+// Package mib provides SNMP object identifiers, typed values, and a
+// management information tree with lexicographic GetNext traversal, plus
+// bindings that expose live netsim state as MIB-II groups.
+package mib
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// OID is an object identifier as a list of arcs.
+type OID []uint32
+
+// ParseOID parses dotted notation, with or without a leading dot.
+func ParseOID(s string) (OID, error) {
+	s = strings.TrimPrefix(s, ".")
+	if s == "" {
+		return nil, fmt.Errorf("mib: empty OID")
+	}
+	parts := strings.Split(s, ".")
+	o := make(OID, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseUint(p, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("mib: bad OID %q: %v", s, err)
+		}
+		o[i] = uint32(v)
+	}
+	return o, nil
+}
+
+// MustOID parses dotted notation and panics on error; for constants.
+func MustOID(s string) OID {
+	o, err := ParseOID(s)
+	if err != nil {
+		panic(err)
+	}
+	return o
+}
+
+// String renders the OID in dotted notation with a leading dot.
+func (o OID) String() string {
+	var b strings.Builder
+	for _, arc := range o {
+		b.WriteByte('.')
+		b.WriteString(strconv.FormatUint(uint64(arc), 10))
+	}
+	return b.String()
+}
+
+// Cmp orders OIDs lexicographically by arc, shorter prefix first — the
+// ordering GetNext traversal is defined over.
+func (o OID) Cmp(other OID) int {
+	n := len(o)
+	if len(other) < n {
+		n = len(other)
+	}
+	for i := 0; i < n; i++ {
+		switch {
+		case o[i] < other[i]:
+			return -1
+		case o[i] > other[i]:
+			return 1
+		}
+	}
+	switch {
+	case len(o) < len(other):
+		return -1
+	case len(o) > len(other):
+		return 1
+	}
+	return 0
+}
+
+// HasPrefix reports whether o starts with prefix.
+func (o OID) HasPrefix(prefix OID) bool {
+	if len(o) < len(prefix) {
+		return false
+	}
+	for i, arc := range prefix {
+		if o[i] != arc {
+			return false
+		}
+	}
+	return true
+}
+
+// Append returns a new OID with extra arcs added; the receiver is not
+// modified and no storage is shared.
+func (o OID) Append(arcs ...uint32) OID {
+	out := make(OID, 0, len(o)+len(arcs))
+	out = append(out, o...)
+	return append(out, arcs...)
+}
+
+// Clone returns an independent copy.
+func (o OID) Clone() OID {
+	return append(OID(nil), o...)
+}

@@ -1,0 +1,98 @@
+package mib
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// TestPropertyNextMatchesOracle checks the tree's GetNext against a sorted
+// slice oracle for arbitrary scalar registrations and query points.
+func TestPropertyNextMatchesOracle(t *testing.T) {
+	f := func(rawOIDs [][]uint32, rawQueries [][]uint32) bool {
+		tr := NewTree()
+		var registered []OID
+		seen := map[string]bool{}
+		for _, raw := range rawOIDs {
+			if len(raw) == 0 {
+				continue
+			}
+			oid := OID(raw).Clone()
+			if seen[oid.String()] {
+				continue
+			}
+			seen[oid.String()] = true
+			registered = append(registered, oid)
+			tr.RegisterConst(oid, Int(1))
+		}
+		sort.Slice(registered, func(i, j int) bool {
+			return registered[i].Cmp(registered[j]) < 0
+		})
+		oracle := func(q OID) (OID, bool) {
+			for _, r := range registered {
+				if r.Cmp(q) > 0 {
+					return r, true
+				}
+			}
+			return nil, false
+		}
+		queries := make([]OID, 0, len(rawQueries)+len(registered))
+		for _, raw := range rawQueries {
+			queries = append(queries, OID(raw))
+		}
+		// Also query at each registered point and just before/after.
+		for _, r := range registered {
+			queries = append(queries, r, r.Append(0))
+			if len(r) > 1 {
+				queries = append(queries, r[:len(r)-1])
+			}
+		}
+		for _, q := range queries {
+			wantOID, wantOK := oracle(q)
+			gotOID, _, gotOK := tr.Next(q)
+			if wantOK != gotOK {
+				return false
+			}
+			if wantOK && wantOID.Cmp(gotOID) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyWalkReturnsAllUnderPrefix: walking any prefix returns exactly
+// the registered OIDs under it, in order.
+func TestPropertyWalkReturnsAllUnderPrefix(t *testing.T) {
+	f := func(suffixes []uint8) bool {
+		tr := NewTree()
+		base := MustOID("1.3.6.1")
+		uniq := map[uint32]bool{}
+		for _, s := range suffixes {
+			uniq[uint32(s)] = true
+		}
+		var want []OID
+		for s := range uniq {
+			oid := base.Append(s, 0)
+			tr.RegisterConst(oid, Int(int64(s)))
+			want = append(want, oid)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i].Cmp(want[j]) < 0 })
+		got := tr.Walk(base)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i].OID.Cmp(want[i]) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,199 @@
+package mib
+
+import (
+	"fmt"
+
+	"repro/internal/asn1ber"
+)
+
+// Kind enumerates the SNMP value types this stack supports.
+type Kind uint8
+
+// Value kinds.
+const (
+	KindNull Kind = iota
+	KindInteger
+	KindOctetString
+	KindOID
+	KindIPAddress
+	KindCounter32
+	KindGauge32
+	KindTimeTicks
+	KindCounter64
+	// KindNoSuchObject and KindEndOfMIB are SNMPv2 exception markers used
+	// in responses; they carry no value.
+	KindNoSuchObject
+	KindEndOfMIB
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "Null"
+	case KindInteger:
+		return "INTEGER"
+	case KindOctetString:
+		return "OCTET STRING"
+	case KindOID:
+		return "OBJECT IDENTIFIER"
+	case KindIPAddress:
+		return "IpAddress"
+	case KindCounter32:
+		return "Counter32"
+	case KindGauge32:
+		return "Gauge32"
+	case KindTimeTicks:
+		return "TimeTicks"
+	case KindCounter64:
+		return "Counter64"
+	case KindNoSuchObject:
+		return "noSuchObject"
+	case KindEndOfMIB:
+		return "endOfMibView"
+	default:
+		return "Kind?"
+	}
+}
+
+// Value is a dynamically typed SNMP value.
+type Value struct {
+	Kind Kind
+	Int  int64
+	Uint uint64
+	Str  []byte
+	OID  OID
+}
+
+// Constructors for each kind.
+
+// Null returns a NULL value.
+func Null() Value { return Value{Kind: KindNull} }
+
+// Int returns an INTEGER value.
+func Int(v int64) Value { return Value{Kind: KindInteger, Int: v} }
+
+// Str returns an OCTET STRING value.
+func Str(s string) Value { return Value{Kind: KindOctetString, Str: []byte(s)} }
+
+// Bytes returns an OCTET STRING value from raw bytes.
+func Bytes(b []byte) Value { return Value{Kind: KindOctetString, Str: b} }
+
+// OIDVal returns an OBJECT IDENTIFIER value.
+func OIDVal(o OID) Value { return Value{Kind: KindOID, OID: o} }
+
+// IP returns an IpAddress value from a 4-byte slice or textual form.
+func IP(b []byte) Value { return Value{Kind: KindIPAddress, Str: b} }
+
+// Counter returns a Counter32, applying the 32-bit wrap real agents have.
+func Counter(v uint64) Value { return Value{Kind: KindCounter32, Uint: v & 0xffffffff} }
+
+// Gauge returns a Gauge32, clamped at 2^32-1.
+func Gauge(v uint64) Value {
+	if v > 0xffffffff {
+		v = 0xffffffff
+	}
+	return Value{Kind: KindGauge32, Uint: v}
+}
+
+// Ticks returns a TimeTicks value (hundredths of a second), wrapped.
+func Ticks(v uint64) Value { return Value{Kind: KindTimeTicks, Uint: v & 0xffffffff} }
+
+// Counter64Val returns a Counter64.
+func Counter64Val(v uint64) Value { return Value{Kind: KindCounter64, Uint: v} }
+
+// NoSuchObject returns the SNMPv2 exception marker.
+func NoSuchObject() Value { return Value{Kind: KindNoSuchObject} }
+
+// EndOfMIB returns the end-of-MIB-view marker.
+func EndOfMIB() Value { return Value{Kind: KindEndOfMIB} }
+
+// String renders the value for human consumption.
+func (v Value) String() string {
+	switch v.Kind {
+	case KindNull, KindNoSuchObject, KindEndOfMIB:
+		return v.Kind.String()
+	case KindInteger:
+		return fmt.Sprintf("%d", v.Int)
+	case KindOctetString:
+		return string(v.Str)
+	case KindOID:
+		return v.OID.String()
+	case KindIPAddress:
+		if len(v.Str) == 4 {
+			return fmt.Sprintf("%d.%d.%d.%d", v.Str[0], v.Str[1], v.Str[2], v.Str[3])
+		}
+		return fmt.Sprintf("ip?% x", v.Str)
+	default:
+		return fmt.Sprintf("%d", v.Uint)
+	}
+}
+
+// Encode appends the BER encoding of the value.
+func (v Value) Encode(dst []byte) []byte {
+	switch v.Kind {
+	case KindNull:
+		return asn1ber.AppendNull(dst)
+	case KindInteger:
+		return asn1ber.AppendInt(dst, asn1ber.TagInteger, v.Int)
+	case KindOctetString:
+		return asn1ber.AppendString(dst, asn1ber.TagOctetString, v.Str)
+	case KindOID:
+		return asn1ber.AppendOID(dst, v.OID)
+	case KindIPAddress:
+		return asn1ber.AppendString(dst, asn1ber.TagIPAddress, v.Str)
+	case KindCounter32:
+		return asn1ber.AppendUint(dst, asn1ber.TagCounter32, v.Uint)
+	case KindGauge32:
+		return asn1ber.AppendUint(dst, asn1ber.TagGauge32, v.Uint)
+	case KindTimeTicks:
+		return asn1ber.AppendUint(dst, asn1ber.TagTimeTicks, v.Uint)
+	case KindCounter64:
+		return asn1ber.AppendUint(dst, asn1ber.TagCounter64, v.Uint)
+	case KindNoSuchObject:
+		return append(dst, 0x80, 0x00) // context 0, v2c exception
+	case KindEndOfMIB:
+		return append(dst, 0x82, 0x00) // context 2
+	default:
+		return asn1ber.AppendNull(dst)
+	}
+}
+
+// DecodeValue reads one BER value from the reader.
+func DecodeValue(r *asn1ber.Reader) (Value, error) {
+	tag, content, err := r.ReadTLV()
+	if err != nil {
+		return Value{}, err
+	}
+	switch tag {
+	case asn1ber.TagNull:
+		return Null(), nil
+	case asn1ber.TagInteger:
+		i, err := asn1ber.ParseInt(content)
+		return Int(i), err
+	case asn1ber.TagOctetString:
+		return Bytes(append([]byte(nil), content...)), nil
+	case asn1ber.TagOID:
+		arcs, err := asn1ber.ParseOID(content)
+		return OIDVal(OID(arcs)), err
+	case asn1ber.TagIPAddress:
+		return IP(append([]byte(nil), content...)), nil
+	case asn1ber.TagCounter32:
+		u, err := asn1ber.ParseUint(content)
+		return Value{Kind: KindCounter32, Uint: u}, err
+	case asn1ber.TagGauge32:
+		u, err := asn1ber.ParseUint(content)
+		return Value{Kind: KindGauge32, Uint: u}, err
+	case asn1ber.TagTimeTicks:
+		u, err := asn1ber.ParseUint(content)
+		return Value{Kind: KindTimeTicks, Uint: u}, err
+	case asn1ber.TagCounter64:
+		u, err := asn1ber.ParseUint(content)
+		return Value{Kind: KindCounter64, Uint: u}, err
+	case 0x80:
+		return NoSuchObject(), nil
+	case 0x82:
+		return EndOfMIB(), nil
+	default:
+		return Value{}, fmt.Errorf("mib: unsupported value tag 0x%02x", tag)
+	}
+}

@@ -1,0 +1,36 @@
+package netsim_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// Example builds a two-host Ethernet, sends a datagram, and reads the
+// interface counters a MIB agent would serve.
+func Example() {
+	k := sim.NewKernel()
+	defer k.Close()
+	nw := netsim.New(k, 1)
+	a := nw.NewHost("a")
+	b := nw.NewHost("b")
+	seg := nw.NewSegment("lan", netsim.Ethernet10())
+	ifa := seg.Attach(a)
+	seg.Attach(b)
+
+	rx := b.OpenUDP(9)
+	b.Spawn("rx", func(p *sim.Proc) {
+		pkt, _ := rx.Recv(p, time.Second)
+		fmt.Printf("%s got %d bytes from %s\n", pkt.Dst, pkt.Size, pkt.Src)
+	})
+	tx := a.OpenUDP(0)
+	k.After(0, func() { tx.SendSize("b", 9, 100) })
+	k.Run()
+
+	fmt.Println("ifOutOctets:", ifa.Counters.OutOctets) // 100 + 28 header
+	// Output:
+	// b got 100 bytes from a
+	// ifOutOctets: 128
+}

@@ -1,0 +1,325 @@
+package netsim
+
+import (
+	"time"
+)
+
+// MediumConfig carries the physical parameters of a segment or link.
+type MediumConfig struct {
+	// RateBps is the raw signalling rate in bits per second.
+	RateBps int64
+	// PropDelay is the one-way propagation delay.
+	PropDelay time.Duration
+	// FrameOverhead is the per-frame framing cost in bytes (preamble,
+	// MAC header, FCS, inter-frame gap).
+	FrameOverhead int
+	// ArbDelay models medium-access arbitration per frame: CSMA deference
+	// on Ethernet, token rotation on FDDI.
+	ArbDelay time.Duration
+	// LossProb is the probability that a transmitted frame is corrupted
+	// and discarded at the receiver.
+	LossProb float64
+	// DupProb is the probability that a delivered frame arrives twice
+	// (reflections, retransmitting bridges); transports must tolerate it.
+	DupProb float64
+	// CellSize/CellPayload, when non-zero, round the wire size up to whole
+	// cells (ATM's 53/48 segmentation tax).
+	CellSize, CellPayload int
+	// QueueCap is the egress queue depth, in packets, of interfaces
+	// attached to this medium.
+	QueueCap int
+}
+
+// wireBits returns the number of bits a packet occupies on this medium.
+func (c MediumConfig) wireBits(p *Packet) int64 {
+	size := p.Size + HeaderOverhead
+	if c.CellSize > 0 && c.CellPayload > 0 {
+		cells := (size + c.CellPayload - 1) / c.CellPayload
+		size = cells * c.CellSize
+	}
+	return int64(size+c.FrameOverhead) * 8
+}
+
+// txTime returns the serialization delay of a packet at the medium rate.
+func (c MediumConfig) txTime(p *Packet) time.Duration {
+	return time.Duration(float64(c.wireBits(p)) / float64(c.RateBps) * float64(time.Second))
+}
+
+// Ethernet10 returns a classic 10 Mb/s shared Ethernet.
+func Ethernet10() MediumConfig {
+	return MediumConfig{
+		RateBps:       10_000_000,
+		PropDelay:     5 * time.Microsecond,
+		FrameOverhead: 38, // preamble 8 + MAC 14 + FCS 4 + IFG 12
+		ArbDelay:      10 * time.Microsecond,
+		QueueCap:      64,
+	}
+}
+
+// Ethernet100 returns a 100 Mb/s shared Ethernet.
+func Ethernet100() MediumConfig {
+	c := Ethernet10()
+	c.RateBps = 100_000_000
+	c.ArbDelay = time.Microsecond
+	return c
+}
+
+// FDDI returns a 100 Mb/s FDDI ring; the token rotation shows up as a
+// slightly larger arbitration delay than switched media.
+func FDDI() MediumConfig {
+	return MediumConfig{
+		RateBps:       100_000_000,
+		PropDelay:     10 * time.Microsecond,
+		FrameOverhead: 28,
+		ArbDelay:      8 * time.Microsecond,
+		QueueCap:      96,
+	}
+}
+
+// ATMLink returns a 155 Mb/s point-to-point ATM port, with the 53/48 cell
+// tax applied to the wire size.
+func ATMLink() MediumConfig {
+	return MediumConfig{
+		RateBps:     155_000_000,
+		PropDelay:   5 * time.Microsecond,
+		CellSize:    53,
+		CellPayload: 48,
+		QueueCap:    128,
+	}
+}
+
+// Medium is a transmission facility interfaces attach to.
+type Medium interface {
+	// Name identifies the medium in diagnostics and probes.
+	Name() string
+	// Config returns the physical parameters.
+	Config() MediumConfig
+	// Ifaces returns attached interfaces in attach order.
+	Ifaces() []*Iface
+	// notify tells the medium that ifc has frames queued.
+	notify(ifc *Iface)
+}
+
+// Frame is what a promiscuous tap observes: a packet on the wire at a given
+// instant. Err marks frames that will be discarded as corrupted.
+type Frame struct {
+	Pkt *Packet
+	At  time.Duration
+	Err bool
+	// WireBytes is the frame's size on the wire including framing.
+	WireBytes int
+}
+
+// TapFunc receives every frame transmitted on a shared segment. Taps model
+// promiscuous media-layer monitoring (RMON probes, sniffers).
+type TapFunc func(Frame)
+
+// SegmentStats aggregates wire-level activity on a shared segment, roughly
+// the raw material of the RMON etherStats group.
+type SegmentStats struct {
+	Frames     uint64
+	Octets     uint64
+	Broadcasts uint64
+	Errors     uint64 // frames corrupted in transit
+	Deferrals  uint64 // transmission attempts that found the medium busy
+	NoStation  uint64 // frames addressed to a station not on the segment
+}
+
+// SharedSegment is a broadcast medium: one frame at a time occupies the
+// wire, every attached station can observe all frames via taps, and
+// contention appears as queueing behind the shared transmitter.
+type SharedSegment struct {
+	net     *Network
+	name    string
+	cfg     MediumConfig
+	ifaces  []*Iface
+	busy    bool
+	backlog []*Iface
+	taps    []TapFunc
+	stats   SegmentStats
+}
+
+// NewSegment creates a shared segment with the given physical parameters.
+func (nw *Network) NewSegment(name string, cfg MediumConfig) *SharedSegment {
+	s := &SharedSegment{net: nw, name: name, cfg: cfg}
+	nw.media = append(nw.media, s)
+	return s
+}
+
+// Name implements Medium.
+func (s *SharedSegment) Name() string { return s.name }
+
+// Config implements Medium.
+func (s *SharedSegment) Config() MediumConfig { return s.cfg }
+
+// Ifaces implements Medium.
+func (s *SharedSegment) Ifaces() []*Iface { return s.ifaces }
+
+// Stats returns a snapshot of the segment counters.
+func (s *SharedSegment) Stats() SegmentStats { return s.stats }
+
+// Attach connects a node to the segment and returns the new interface.
+func (s *SharedSegment) Attach(n *Node) *Iface {
+	ifc := n.addIface(s, s.cfg.QueueCap)
+	s.ifaces = append(s.ifaces, ifc)
+	return ifc
+}
+
+// Tap registers a promiscuous observer of every frame on the wire.
+func (s *SharedSegment) Tap(fn TapFunc) { s.taps = append(s.taps, fn) }
+
+// SetLossProb changes the segment's corruption probability at runtime —
+// fault injection for flaky-cable scenarios.
+func (s *SharedSegment) SetLossProb(p float64) { s.cfg.LossProb = p }
+
+func (s *SharedSegment) notify(ifc *Iface) {
+	if ifc.inBacklog || ifc.qlen() == 0 {
+		return
+	}
+	if s.busy {
+		s.stats.Deferrals++
+	}
+	ifc.inBacklog = true
+	s.backlog = append(s.backlog, ifc)
+	s.serve()
+}
+
+func (s *SharedSegment) serve() {
+	if s.busy || len(s.backlog) == 0 {
+		return
+	}
+	ifc := s.backlog[0]
+	s.backlog = s.backlog[1:]
+	ifc.inBacklog = false
+	pkt := ifc.pop()
+	if pkt == nil {
+		s.serve()
+		return
+	}
+	s.busy = true
+	tx := s.cfg.txTime(pkt) + s.cfg.ArbDelay
+	s.net.K.After(tx, func() {
+		s.busy = false
+		s.complete(ifc, pkt)
+		// Fair round-robin: a station with more frames rejoins the queue.
+		if ifc.qlen() > 0 && !ifc.inBacklog {
+			ifc.inBacklog = true
+			s.backlog = append(s.backlog, ifc)
+		}
+		s.serve()
+	})
+}
+
+// complete fires when the frame leaves the wire: update stats, run taps,
+// then deliver after propagation delay.
+func (s *SharedSegment) complete(from *Iface, pkt *Packet) {
+	wire := int(s.cfg.wireBits(pkt) / 8)
+	lost := s.net.lost(s.cfg.LossProb)
+	s.stats.Frames++
+	s.stats.Octets += uint64(wire)
+	if pkt.NextHop == Broadcast {
+		s.stats.Broadcasts++
+	}
+	if lost {
+		s.stats.Errors++
+	}
+	f := Frame{Pkt: pkt, At: s.net.K.Now(), Err: lost, WireBytes: wire}
+	for _, tap := range s.taps {
+		tap(f)
+	}
+	from.countOut(pkt)
+	if lost {
+		s.net.drop(DropCorrupted, pkt)
+		return
+	}
+	s.net.K.After(s.cfg.PropDelay, func() { s.deliver(from, pkt) })
+}
+
+func (s *SharedSegment) deliver(from *Iface, pkt *Packet) {
+	if pkt.NextHop == Broadcast {
+		for _, ifc := range s.ifaces {
+			if ifc != from {
+				ifc.receive(pkt.clone())
+			}
+		}
+		return
+	}
+	for _, ifc := range s.ifaces {
+		if ifc.node.Name == pkt.NextHop {
+			if s.cfg.DupProb > 0 && s.net.rng.Float64() < s.cfg.DupProb {
+				ifc.receive(pkt.clone())
+			}
+			ifc.receive(pkt)
+			return
+		}
+	}
+	s.stats.NoStation++
+	s.net.drop(DropNoStation, pkt)
+}
+
+// Link is a full-duplex point-to-point medium: each direction is an
+// independent transmitter. Switched fabrics (ATM) are built from links, so
+// unicast traffic is invisible anywhere else — no Tap is offered.
+type Link struct {
+	net  *Network
+	name string
+	cfg  MediumConfig
+	a, b *Iface
+	busy [2]bool
+}
+
+// NewLink connects two nodes with a point-to-point link.
+func (nw *Network) NewLink(name string, a, b *Node, cfg MediumConfig) *Link {
+	l := &Link{net: nw, name: name, cfg: cfg}
+	l.a = a.addIface(l, cfg.QueueCap)
+	l.b = b.addIface(l, cfg.QueueCap)
+	nw.media = append(nw.media, l)
+	return l
+}
+
+// Name implements Medium.
+func (l *Link) Name() string { return l.name }
+
+// Config implements Medium.
+func (l *Link) Config() MediumConfig { return l.cfg }
+
+// Ifaces implements Medium.
+func (l *Link) Ifaces() []*Iface { return []*Iface{l.a, l.b} }
+
+func (l *Link) dir(ifc *Iface) int {
+	if ifc == l.a {
+		return 0
+	}
+	return 1
+}
+
+func (l *Link) peer(ifc *Iface) *Iface {
+	if ifc == l.a {
+		return l.b
+	}
+	return l.a
+}
+
+func (l *Link) notify(ifc *Iface) {
+	d := l.dir(ifc)
+	if l.busy[d] {
+		return
+	}
+	pkt := ifc.pop()
+	if pkt == nil {
+		return
+	}
+	l.busy[d] = true
+	tx := l.cfg.txTime(pkt)
+	l.net.K.After(tx, func() {
+		l.busy[d] = false
+		ifc.countOut(pkt)
+		if l.net.lost(l.cfg.LossProb) {
+			l.net.drop(DropCorrupted, pkt)
+		} else {
+			peer := l.peer(ifc)
+			l.net.K.After(l.cfg.PropDelay, func() { peer.receive(pkt) })
+		}
+		l.notify(ifc)
+	})
+}

@@ -1,0 +1,127 @@
+package netsim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func TestPropertyPacketConservation(t *testing.T) {
+	// Property: every unicast datagram handed to the network is either
+	// delivered to a socket or reported exactly once to the drop hook,
+	// under arbitrary loss rates and offered loads.
+	f := func(seed int64, lossPct uint8, burst uint8) bool {
+		k := sim.NewKernel()
+		defer k.Close()
+		nw := New(k, seed)
+		a := nw.NewHost("a")
+		b := nw.NewHost("b")
+		r := nw.NewRouter("r", 10*time.Microsecond)
+		lan1 := nw.NewSegment("lan1", Ethernet10())
+		cfg := Ethernet10()
+		cfg.LossProb = float64(lossPct%60) / 100
+		lan2 := nw.NewSegment("lan2", cfg)
+		lan1.Attach(a)
+		lan1.Attach(r)
+		lan2.Attach(r)
+		lan2.Attach(b)
+		a.SetDefaultRoute("r")
+		b.SetDefaultRoute("r")
+		drops := uint64(0)
+		nw.OnDrop = func(reason DropReason, pkt *Packet) { drops++ }
+		NewSink(b, 9)
+		n := int(burst)%200 + 50
+		// Also send some to an unbound port and a nonexistent host.
+		src := &CBRSource{Src: a, Dst: "b", DstPort: 9, Size: 1200, Interval: 200 * time.Microsecond, Count: n}
+		src.Run()
+		(&CBRSource{Src: a, Dst: "b", DstPort: 99, Size: 100, Interval: time.Millisecond, Count: 5}).Run()
+		(&CBRSource{Src: a, Dst: "ghost", DstPort: 9, Size: 100, Interval: time.Millisecond, Count: 5}).Run()
+		k.Run()
+		return nw.PacketsSent == nw.PacketsDelivered+drops
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDropReasonsClassified(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Close()
+	nw := New(k, 3)
+	a := nw.NewHost("a")
+	b := nw.NewHost("b")
+	cfg := Ethernet10()
+	cfg.LossProb = 0.5
+	seg := nw.NewSegment("lan", cfg)
+	seg.Attach(a)
+	seg.Attach(b)
+	reasons := map[DropReason]int{}
+	nw.OnDrop = func(r DropReason, pkt *Packet) { reasons[r]++ }
+	NewSink(b, 9)
+	sock := a.OpenUDP(0)
+	k.After(0, func() {
+		for i := 0; i < 40; i++ {
+			sock.SendSize("b", 9, 100) // half lost to corruption
+		}
+		for i := 0; i < 8; i++ {
+			sock.SendSize("b", 99, 100)    // no port (when not corrupted first)
+			sock.SendSize("ghost", 9, 100) // no such station -> no route at host
+		}
+	})
+	k.After(time.Second, func() { b.SetUp(false) })
+	k.After(2*time.Second, func() {
+		for i := 0; i < 8; i++ {
+			sock.SendSize("b", 9, 100)
+		}
+	})
+	k.Run()
+	if reasons[DropCorrupted] == 0 {
+		t.Fatalf("no corruption drops: %v", reasons)
+	}
+	if reasons[DropNoPort] == 0 {
+		t.Fatalf("no-port drops = %d: %v", reasons[DropNoPort], reasons)
+	}
+	if reasons[DropNoRoute] != 8 { // no-route happens before the wire: deterministic
+		t.Fatalf("no-route drops = %d: %v", reasons[DropNoRoute], reasons)
+	}
+	if reasons[DropHostDown] == 0 {
+		t.Fatalf("no host-down drops: %v", reasons)
+	}
+}
+
+func TestDropReasonStrings(t *testing.T) {
+	for r := DropQueueFull; r <= DropNoStation; r++ {
+		if r.String() == "drop?" {
+			t.Fatalf("reason %d unnamed", r)
+		}
+	}
+}
+
+func TestIfaceDownDropsTraffic(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Close()
+	nw := New(k, 1)
+	a := nw.NewHost("a")
+	b := nw.NewHost("b")
+	seg := nw.NewSegment("lan", Ethernet10())
+	ifa := seg.Attach(a)
+	seg.Attach(b)
+	sink := NewSink(b, 9)
+	reasons := map[DropReason]int{}
+	nw.OnDrop = func(r DropReason, pkt *Packet) { reasons[r]++ }
+	sock := a.OpenUDP(0)
+	k.After(0, func() { sock.SendSize("b", 9, 100) })
+	k.After(time.Millisecond, func() { ifa.SetUp(false) })
+	k.After(2*time.Millisecond, func() { sock.SendSize("b", 9, 100) })
+	k.After(3*time.Millisecond, func() { ifa.SetUp(true) })
+	k.After(4*time.Millisecond, func() { sock.SendSize("b", 9, 100) })
+	k.Run()
+	if sink.Received != 2 {
+		t.Fatalf("received %d, want 2", sink.Received)
+	}
+	if reasons[DropIfaceDown] != 1 {
+		t.Fatalf("iface-down drops = %d", reasons[DropIfaceDown])
+	}
+}

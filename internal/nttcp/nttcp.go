@@ -1,0 +1,421 @@
+// Package nttcp reimplements the NSWC-DD NTTCP communications analysis tool
+// as used by the paper's high-fidelity network resource monitor (§5.1): an
+// active measurement engine that sends configurable bursts of messages —
+// message length L, inter-send period P, burst count N — between a client
+// and a server process and measures end-to-end throughput, one-way latency
+// (with either a per-measurement clock-offset exchange or an external sync
+// protocol), and reachability, all at the Application & Support layer.
+package nttcp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/vclock"
+)
+
+// Port is the default NTTCP server port.
+const Port netsim.Port = 5010
+
+// message types on the control/data channel.
+const (
+	msgStart byte = iota + 1
+	msgReady
+	msgData
+	msgDataEnd
+	msgResult
+	msgEcho
+	msgEchoReply
+	msgOffsetProbe
+	msgOffsetReply
+)
+
+// header layout: type(1) testID(4) seq(4) t1(8) t2(8) extra(8) = 33 bytes.
+const headerSize = 33
+
+type header struct {
+	typ    byte
+	testID uint32
+	seq    uint32
+	t1, t2 time.Duration
+	extra  uint64
+}
+
+func (h header) encode() []byte {
+	b := make([]byte, headerSize)
+	b[0] = h.typ
+	binary.BigEndian.PutUint32(b[1:5], h.testID)
+	binary.BigEndian.PutUint32(b[5:9], h.seq)
+	binary.BigEndian.PutUint64(b[9:17], uint64(h.t1))
+	binary.BigEndian.PutUint64(b[17:25], uint64(h.t2))
+	binary.BigEndian.PutUint64(b[25:33], h.extra)
+	return b
+}
+
+func decodeHeader(b []byte) (header, bool) {
+	if len(b) < headerSize {
+		return header{}, false
+	}
+	return header{
+		typ:    b[0],
+		testID: binary.BigEndian.Uint32(b[1:5]),
+		seq:    binary.BigEndian.Uint32(b[5:9]),
+		t1:     time.Duration(binary.BigEndian.Uint64(b[9:17])),
+		t2:     time.Duration(binary.BigEndian.Uint64(b[17:25])),
+		extra:  binary.BigEndian.Uint64(b[25:33]),
+	}, true
+}
+
+// Config mirrors the tool's configuration options the paper tunes
+// (§5.1.2–5.1.3).
+type Config struct {
+	// MsgLen is L: the application message length in bytes.
+	MsgLen int
+	// InterSend is P: the period between successive messages.
+	InterSend time.Duration
+	// Count is the number of messages per burst; bursts trade
+	// intrusiveness against susceptibility to transients.
+	Count int
+	// Timeout bounds each wait on the network.
+	Timeout time.Duration
+	// ComputeOffset enables the per-measurement clock-offset exchange; when
+	// false, one-way latency is corrected with KnownOffset (e.g. from NTP).
+	ComputeOffset bool
+	// OffsetSamples is the number of probe exchanges when ComputeOffset.
+	OffsetSamples int
+	// KnownOffset is the externally supplied clock offset (server-client).
+	KnownOffset time.Duration
+}
+
+// withDefaults fills the RTDS-era defaults: L=8192, P=30ms (§5.1.2.1).
+func (c Config) withDefaults() Config {
+	if c.MsgLen <= 0 {
+		c.MsgLen = 8192
+	}
+	if c.InterSend <= 0 {
+		c.InterSend = 30 * time.Millisecond
+	}
+	if c.Count <= 0 {
+		c.Count = 32
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 2 * time.Second
+	}
+	if c.OffsetSamples <= 0 {
+		c.OffsetSamples = 8
+	}
+	return c
+}
+
+// Result is one completed measurement.
+type Result struct {
+	Reached  bool
+	Sent     int
+	Received int
+	// ThroughputBps is receiver-measured end-to-end throughput.
+	ThroughputBps float64
+	// OneWayLatency is the offset-corrected mean one-way latency.
+	OneWayLatency time.Duration
+	// Loss is the fraction of burst messages not delivered.
+	Loss float64
+	// Elapsed is the wall (virtual) time the whole measurement took,
+	// including control and offset traffic — the T of §5.1.2.1.
+	Elapsed time.Duration
+	// OverheadBytes counts every byte the measurement put on the wire
+	// (control, offset, data, result), the intrusiveness currency.
+	OverheadBytes int64
+	// OverheadPackets counts the packets likewise.
+	OverheadPackets int
+	// Offset is the clock offset estimate used (zero if none).
+	Offset time.Duration
+	// Retransmissions counts transport-level retransmitted segments
+	// (stream mode only; datagram mode reports loss instead).
+	Retransmissions int
+}
+
+// Server is the NTTCP responder: it echoes probes, participates in offset
+// exchanges, and measures incoming bursts, reporting receiver-side results.
+type Server struct {
+	Node *netsim.Node
+	Port netsim.Port
+
+	// Tests counts completed burst measurements.
+	Tests int
+
+	sock *netsim.UDPSock
+}
+
+type burstState struct {
+	received  int
+	bytes     int
+	firstAt   time.Duration
+	lastAt    time.Duration
+	sumRawLat time.Duration // sum of (server local recv - client local send)
+	expected  int
+}
+
+// StartServer spawns the responder on node:port.
+func StartServer(node *netsim.Node, port netsim.Port) *Server {
+	if port == 0 {
+		port = Port
+	}
+	s := &Server{Node: node, Port: port, sock: node.OpenUDP(port)}
+	node.Spawn("nttcp-server", func(p *sim.Proc) { s.serve(p) })
+	startStreamServer(node, port+StreamPortOffset)
+	return s
+}
+
+// burstKey identifies a burst by its originating endpoint as well as the
+// client's test ID, so concurrent clients cannot collide.
+type burstKey struct {
+	src    netsim.Addr
+	port   netsim.Port
+	testID uint32
+}
+
+func (s *Server) serve(p *sim.Proc) {
+	bursts := make(map[burstKey]*burstState)
+	for {
+		pkt, ok := s.sock.Recv(p, -1)
+		if !ok {
+			return
+		}
+		h, ok := decodeHeader(pkt.Payload)
+		if !ok {
+			continue
+		}
+		key := burstKey{pkt.Src, pkt.SrcPort, h.testID}
+		switch h.typ {
+		case msgEcho:
+			s.reply(pkt, header{typ: msgEchoReply, testID: h.testID, seq: h.seq, t1: h.t1})
+		case msgOffsetProbe:
+			s.reply(pkt, header{typ: msgOffsetReply, testID: h.testID, seq: h.seq, t1: h.t1, t2: s.Node.LocalTime()})
+		case msgStart:
+			bursts[key] = &burstState{expected: int(h.extra)}
+			s.reply(pkt, header{typ: msgReady, testID: h.testID})
+		case msgData:
+			b := bursts[key]
+			if b == nil {
+				continue
+			}
+			now := s.Node.LocalTime()
+			if b.received == 0 {
+				b.firstAt = now
+			}
+			b.received++
+			b.bytes += pkt.Size
+			b.lastAt = now
+			b.sumRawLat += now - h.t1
+		case msgDataEnd:
+			b := bursts[key]
+			if b == nil {
+				continue
+			}
+			delete(bursts, key)
+			s.Tests++
+			span := b.lastAt - b.firstAt
+			var bps uint64
+			if span > 0 && b.received > 1 {
+				// Receiver-side throughput over the arrival span,
+				// excluding the first message's bytes (standard
+				// inter-arrival accounting).
+				bps = uint64(float64(b.bytes-b.bytes/b.received) * 8 / span.Seconds())
+			}
+			var meanRaw time.Duration
+			if b.received > 0 {
+				meanRaw = b.sumRawLat / time.Duration(b.received)
+			}
+			s.reply(pkt, header{
+				typ:    msgResult,
+				testID: h.testID,
+				seq:    uint32(b.received),
+				t1:     meanRaw,
+				extra:  bps,
+			})
+		}
+	}
+}
+
+func (s *Server) reply(req *netsim.Packet, h header) {
+	s.sock.SendTo(req.Src, req.SrcPort, h.encode())
+}
+
+// Client runs measurements from a node toward NTTCP servers.
+type Client struct {
+	Node   *netsim.Node
+	Config Config
+
+	testID uint32
+}
+
+// NewClient returns a measurement client on node.
+func NewClient(node *netsim.Node, cfg Config) *Client {
+	return &Client{Node: node, Config: cfg.withDefaults()}
+}
+
+// Reachability sends one echo and reports whether a reply arrived within
+// the timeout, with the round-trip time on success.
+func (c *Client) Reachability(p *sim.Proc, target netsim.Addr, port netsim.Port) (bool, time.Duration) {
+	if port == 0 {
+		port = Port
+	}
+	cfg := c.Config
+	sock := c.Node.OpenUDP(0)
+	defer sock.Close()
+	c.testID++
+	id := c.testID
+	start := p.Now()
+	sock.SendTo(target, port, header{typ: msgEcho, testID: id, t1: c.Node.LocalTime()}.encode())
+	for {
+		remain := cfg.Timeout - (p.Now() - start)
+		if remain <= 0 {
+			return false, 0
+		}
+		pkt, ok := sock.Recv(p, remain)
+		if !ok {
+			return false, 0
+		}
+		if h, ok2 := decodeHeader(pkt.Payload); ok2 && h.typ == msgEchoReply && h.testID == id {
+			return true, p.Now() - start
+		}
+	}
+}
+
+// estimateOffset performs the per-measurement clock-offset exchange the
+// paper found "significantly intrusive compared to ... NTP" (§5.1.3).
+func (c *Client) estimateOffset(p *sim.Proc, sock *netsim.UDPSock, target netsim.Addr, port netsim.Port, id uint32, res *Result) (time.Duration, bool) {
+	cfg := c.Config
+	var samples []vclock.Sample
+	for i := 0; i < cfg.OffsetSamples; i++ {
+		t1 := c.Node.LocalTime()
+		h := header{typ: msgOffsetProbe, testID: id, seq: uint32(i), t1: t1}
+		sock.SendTo(target, port, h.encode())
+		res.OverheadBytes += headerSize + netsim.HeaderOverhead
+		res.OverheadPackets++
+		deadline := p.Now() + cfg.Timeout
+		for {
+			remain := deadline - p.Now()
+			if remain <= 0 {
+				break
+			}
+			pkt, ok := sock.Recv(p, remain)
+			if !ok {
+				break
+			}
+			rh, ok2 := decodeHeader(pkt.Payload)
+			if !ok2 || rh.typ != msgOffsetReply || rh.seq != uint32(i) {
+				continue
+			}
+			res.OverheadBytes += headerSize + netsim.HeaderOverhead
+			res.OverheadPackets++
+			t4 := c.Node.LocalTime()
+			samples = append(samples, vclock.Sample{
+				Offset: vclock.EstimateOffset(rh.t1, rh.t2, t4),
+				RTT:    t4 - rh.t1,
+			})
+			break
+		}
+	}
+	best, ok := vclock.BestSample(samples)
+	return best.Offset, ok
+}
+
+// Measure runs one burst measurement against target, mimicking the traffic
+// shape configured (the RTDS shape by default) and returns the metrics.
+func (c *Client) Measure(p *sim.Proc, target netsim.Addr, port netsim.Port) (res Result, err error) {
+	if port == 0 {
+		port = Port
+	}
+	cfg := c.Config
+	sock := c.Node.OpenUDP(0)
+	defer sock.Close()
+	c.testID++
+	id := c.testID
+	start := p.Now()
+	defer func() { res.Elapsed = p.Now() - start }()
+
+	// Control: announce the burst.
+	sock.SendTo(target, port, header{typ: msgStart, testID: id, extra: uint64(cfg.Count)}.encode())
+	res.OverheadBytes += headerSize + netsim.HeaderOverhead
+	res.OverheadPackets++
+	if !c.awaitType(p, sock, msgReady, id, cfg.Timeout, &res) {
+		return res, fmt.Errorf("nttcp: %s: no response to start", target)
+	}
+	res.Reached = true
+
+	// Optional clock-offset exchange.
+	offset := cfg.KnownOffset
+	if cfg.ComputeOffset {
+		est, ok := c.estimateOffset(p, sock, target, port, id, &res)
+		if !ok {
+			return res, fmt.Errorf("nttcp: %s: offset exchange failed", target)
+		}
+		offset = est
+	}
+	res.Offset = offset
+
+	// Data burst: Count messages of MsgLen every InterSend.
+	for i := 0; i < cfg.Count; i++ {
+		h := header{typ: msgData, testID: id, seq: uint32(i), t1: c.Node.LocalTime()}
+		sock.SendProto(target, port, h.encode(), cfg.MsgLen, netsim.UDP)
+		res.Sent++
+		res.OverheadBytes += int64(cfg.MsgLen) + netsim.HeaderOverhead
+		res.OverheadPackets++
+		p.Sleep(cfg.InterSend)
+	}
+	// End marker and result collection (retry: the end marker itself can
+	// be lost under load).
+	for attempt := 0; attempt < 3; attempt++ {
+		sock.SendTo(target, port, header{typ: msgDataEnd, testID: id}.encode())
+		res.OverheadBytes += headerSize + netsim.HeaderOverhead
+		res.OverheadPackets++
+		if h, ok := c.awaitHeader(p, sock, msgResult, id, cfg.Timeout, &res); ok {
+			res.Received = int(h.seq)
+			res.ThroughputBps = float64(h.extra)
+			rawLat := h.t1
+			res.OneWayLatency = rawLat - offset
+			if res.Sent > 0 {
+				res.Loss = 1 - float64(res.Received)/float64(res.Sent)
+			}
+			return res, nil
+		}
+	}
+	return res, fmt.Errorf("nttcp: %s: burst result lost", target)
+}
+
+func (c *Client) awaitType(p *sim.Proc, sock *netsim.UDPSock, typ byte, id uint32, timeout time.Duration, res *Result) bool {
+	_, ok := c.awaitHeader(p, sock, typ, id, timeout, res)
+	return ok
+}
+
+func (c *Client) awaitHeader(p *sim.Proc, sock *netsim.UDPSock, typ byte, id uint32, timeout time.Duration, res *Result) (header, bool) {
+	deadline := p.Now() + timeout
+	for {
+		remain := deadline - p.Now()
+		if remain <= 0 {
+			return header{}, false
+		}
+		pkt, ok := sock.Recv(p, remain)
+		if !ok {
+			return header{}, false
+		}
+		h, ok2 := decodeHeader(pkt.Payload)
+		if !ok2 || h.typ != typ || h.testID != id {
+			continue
+		}
+		res.OverheadBytes += headerSize + netsim.HeaderOverhead
+		res.OverheadPackets++
+		return h, true
+	}
+}
+
+// PeakOverheadBps returns the offered load of one active measurement with
+// this configuration: (L+headers)·8/P — the per-path term of the paper's
+// C·S·(L/P) formula.
+func PeakOverheadBps(cfg Config) float64 {
+	cfg = cfg.withDefaults()
+	return float64(cfg.MsgLen) * 8 / cfg.InterSend.Seconds()
+}

@@ -1,0 +1,95 @@
+package nttcp
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+func TestStreamMeasureBulkThroughput(t *testing.T) {
+	k, srv, cli := fixture(t, netsim.Ethernet10())
+	StartServer(srv, 0)
+	// No pacing: bulk mode. 64 x 8 KiB = 512 KiB through the stream.
+	c := NewClient(cli, Config{MsgLen: 8192, Count: 64, InterSend: -1, Timeout: 5 * time.Second})
+	c.Config.InterSend = 0 // explicit bulk
+	var res Result
+	var err error
+	cli.Spawn("tester", func(p *sim.Proc) {
+		res, err = c.MeasureStream(p, "server", 0)
+	})
+	k.RunUntil(120 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Reached || res.Received != 64 {
+		t.Fatalf("res = %+v", res)
+	}
+	// Bulk stream goodput on an idle 10 Mb/s wire: expect 50-95% of wire
+	// rate once acks and headers are paid.
+	if res.ThroughputBps < 4e6 || res.ThroughputBps > 10e6 {
+		t.Fatalf("stream throughput = %.3g b/s", res.ThroughputBps)
+	}
+	if res.OneWayLatency <= 0 {
+		t.Fatalf("stream latency estimate = %v", res.OneWayLatency)
+	}
+}
+
+func TestStreamMeasurePacedMatchesOfferedRate(t *testing.T) {
+	k, srv, cli := fixture(t, netsim.Ethernet10())
+	StartServer(srv, 0)
+	// Paced like the RTDS shape: throughput should track L/P, not the wire.
+	c := NewClient(cli, Config{MsgLen: 8192, InterSend: 30 * time.Millisecond, Count: 32, Timeout: 2 * time.Second})
+	var res Result
+	cli.Spawn("tester", func(p *sim.Proc) {
+		res, _ = c.MeasureStream(p, "server", 0)
+	})
+	k.RunUntil(60 * time.Second)
+	offered := PeakOverheadBps(c.Config)
+	if rel := res.ThroughputBps/offered - 1; rel < -0.15 || rel > 0.15 {
+		t.Fatalf("paced stream throughput %.3g vs offered %.3g", res.ThroughputBps, offered)
+	}
+}
+
+func TestStreamMeasureOnLossyWireRetransmits(t *testing.T) {
+	cfg := netsim.Ethernet10()
+	cfg.LossProb = 0.03
+	k, srv, cli := fixture(t, cfg)
+	StartServer(srv, 0)
+	c := NewClient(cli, Config{MsgLen: 8192, Count: 32, Timeout: 5 * time.Second})
+	c.Config.InterSend = 0
+	var res Result
+	var err error
+	cli.Spawn("tester", func(p *sim.Proc) {
+		res, err = c.MeasureStream(p, "server", 0)
+	})
+	k.RunUntil(300 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reliable transport: everything is delivered despite loss...
+	if res.Received != 32 {
+		t.Fatalf("received %d of 32", res.Received)
+	}
+	// ...at the cost of retransmissions, visible in the result.
+	if res.Retransmissions == 0 {
+		t.Fatal("3% loss produced no retransmissions")
+	}
+}
+
+func TestStreamMeasureUnreachable(t *testing.T) {
+	k, srv, cli := fixture(t, netsim.Ethernet10())
+	StartServer(srv, 0)
+	srv.SetUp(false)
+	c := NewClient(cli, Config{MsgLen: 1024, Count: 4, Timeout: 300 * time.Millisecond})
+	var res Result
+	var err error
+	cli.Spawn("tester", func(p *sim.Proc) {
+		res, err = c.MeasureStream(p, "server", 0)
+	})
+	k.RunUntil(10 * time.Second)
+	if err == nil || res.Reached {
+		t.Fatalf("stream to dead host: %+v, %v", res, err)
+	}
+}

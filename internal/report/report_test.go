@@ -1,0 +1,74 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func sample() *Table {
+	t := &Table{
+		ID:      "E1",
+		Title:   "Overhead",
+		Paper:   "59 Mb/s parallel vs 2.18 Mb/s sequential",
+		Columns: []string{"mode", "load"},
+	}
+	t.AddRow("parallel", Bps(59e6))
+	t.AddRow("sequential", Bps(2.18e6))
+	t.AddNote("measured on FDDI backbone")
+	return t
+}
+
+func TestStringAlignment(t *testing.T) {
+	s := sample().String()
+	if !strings.Contains(s, "E1 — Overhead") {
+		t.Fatalf("missing header: %q", s)
+	}
+	if !strings.Contains(s, "59.00 Mb/s") || !strings.Contains(s, "2.18 Mb/s") {
+		t.Fatalf("missing rows: %q", s)
+	}
+	if !strings.Contains(s, "note: measured") {
+		t.Fatal("missing note")
+	}
+	lines := strings.Split(s, "\n")
+	// Header row and separator row have equal width.
+	var hdr, sep string
+	for i, l := range lines {
+		if strings.HasPrefix(l, "mode") {
+			hdr, sep = l, lines[i+1]
+			break
+		}
+	}
+	if len(hdr) == 0 || len(hdr) != len(sep) {
+		t.Fatalf("alignment: %q vs %q", hdr, sep)
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	md := sample().Markdown()
+	if !strings.Contains(md, "### E1 — Overhead") ||
+		!strings.Contains(md, "| mode | load |") ||
+		!strings.Contains(md, "| parallel | 59.00 Mb/s |") {
+		t.Fatalf("markdown: %q", md)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	cases := []struct{ got, want string }{
+		{Bps(1.5e9), "1.50 Gb/s"},
+		{Bps(2.18e6), "2.18 Mb/s"},
+		{Bps(4500), "4.5 kb/s"},
+		{Bps(12), "12 b/s"},
+		{Pct(0.123), "12.3%"},
+		{Dur(1500 * time.Millisecond), "1.50s"},
+		{Dur(2500 * time.Microsecond), "2.50ms"},
+		{Dur(12 * time.Microsecond), "12µs"},
+		{Count(1234567), "1,234,567"},
+		{Count(999), "999"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Fatalf("got %q want %q", c.got, c.want)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package rmon
+
+import (
+	"time"
+
+	"repro/internal/mib"
+	"repro/internal/netsim"
+)
+
+// Filter selects frames for a channel. Zero-valued fields match anything.
+type Filter struct {
+	Src      netsim.Addr
+	Dst      netsim.Addr
+	Proto    netsim.Proto
+	AnyProto bool // when false, Proto is compared (UDP being the zero value)
+	MinSize  int
+	MaxSize  int // 0 means unbounded
+}
+
+func (f Filter) matches(fr netsim.Frame) bool {
+	p := fr.Pkt
+	if f.Src != "" && p.Src != f.Src {
+		return false
+	}
+	if f.Dst != "" && p.Dst != f.Dst {
+		return false
+	}
+	if !f.AnyProto && p.Proto != f.Proto {
+		return false
+	}
+	if f.MinSize > 0 && fr.WireBytes < f.MinSize {
+		return false
+	}
+	if f.MaxSize > 0 && fr.WireBytes > f.MaxSize {
+		return false
+	}
+	return true
+}
+
+// CapturedFrame is one buffered frame descriptor, the unit a management
+// station downloads.
+type CapturedFrame struct {
+	At        time.Duration
+	Src, Dst  netsim.Addr
+	WireBytes int
+	Err       bool
+	// Slice holds the first bytes of the payload when the frame carried
+	// real bytes (SNMP traffic); synthetic loads capture headers only.
+	Slice []byte
+}
+
+// Channel is an RMON channel: a filtered view of the wire with an optional
+// capture buffer, the paper's "programmable network monitor" capability.
+type Channel struct {
+	Index  int
+	Filter Filter
+	// BufferCap bounds the capture buffer in frames; 0 disables capture
+	// (the channel only counts).
+	BufferCap int
+	// SliceSize bounds the bytes retained per frame.
+	SliceSize int
+
+	Accepted uint64
+	Dropped  uint64 // frames matched but not buffered (buffer full)
+	buffer   []CapturedFrame
+}
+
+// AddChannel installs a channel with the given filter and capture buffer.
+func (p *Probe) AddChannel(f Filter, bufferCap, sliceSize int) *Channel {
+	ch := &Channel{Index: len(p.channels) + 1, Filter: f, BufferCap: bufferCap, SliceSize: sliceSize}
+	p.channels = append(p.channels, ch)
+	return ch
+}
+
+func (ch *Channel) offer(fr netsim.Frame) {
+	if !ch.Filter.matches(fr) {
+		return
+	}
+	ch.Accepted++
+	if ch.BufferCap <= 0 {
+		return
+	}
+	if len(ch.buffer) >= ch.BufferCap {
+		ch.Dropped++
+		return
+	}
+	cf := CapturedFrame{
+		At:        fr.At,
+		Src:       fr.Pkt.Src,
+		Dst:       fr.Pkt.Dst,
+		WireBytes: fr.WireBytes,
+		Err:       fr.Err,
+	}
+	if ch.SliceSize > 0 && len(fr.Pkt.Payload) > 0 {
+		n := ch.SliceSize
+		if n > len(fr.Pkt.Payload) {
+			n = len(fr.Pkt.Payload)
+		}
+		cf.Slice = append([]byte(nil), fr.Pkt.Payload[:n]...)
+	}
+	ch.buffer = append(ch.buffer, cf)
+}
+
+// Download drains and returns the capture buffer, oldest first — the
+// operation §5.2.4 warns can itself be intrusive when overused.
+func (ch *Channel) Download() []CapturedFrame {
+	out := ch.buffer
+	ch.buffer = nil
+	return out
+}
+
+// Buffered reports the current buffer depth.
+func (ch *Channel) Buffered() int { return len(ch.buffer) }
+
+func (p *Probe) captureEntries() []mib.Entry {
+	var entries []mib.Entry
+	for _, ch := range p.channels {
+		base := captureEntry
+		entries = append(entries,
+			mib.Entry{OID: base.Append(1, uint32(ch.Index)), Value: mib.Int(int64(ch.Index))},
+			mib.Entry{OID: base.Append(2, uint32(ch.Index)), Value: mib.Counter(ch.Accepted)},
+			mib.Entry{OID: base.Append(3, uint32(ch.Index)), Value: mib.Gauge(uint64(len(ch.buffer)))},
+			mib.Entry{OID: base.Append(4, uint32(ch.Index)), Value: mib.Counter(ch.Dropped)},
+		)
+	}
+	return entries
+}

@@ -1,0 +1,241 @@
+package rmon
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/mib"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// fixture builds a LAN with traffic endpoints and a probe host.
+func fixture(t testing.TB, cfg netsim.MediumConfig) (*sim.Kernel, *netsim.Network, *netsim.SharedSegment, *Probe, *netsim.Node, *netsim.Node) {
+	t.Helper()
+	k := sim.NewKernel()
+	t.Cleanup(k.Close)
+	nw := netsim.New(k, 31)
+	a := nw.NewHost("a")
+	b := nw.NewHost("b")
+	probeHost := nw.NewHost("probe")
+	seg := nw.NewSegment("lan", cfg)
+	seg.Attach(a)
+	seg.Attach(b)
+	seg.Attach(probeHost)
+	probe := NewProbe(probeHost, seg)
+	return k, nw, seg, probe, a, b
+}
+
+func TestEtherStatsCounting(t *testing.T) {
+	k, _, _, probe, a, b := fixture(t, netsim.Ethernet10())
+	netsim.NewSink(b, 9)
+	src := &netsim.CBRSource{Src: a, Dst: "b", DstPort: 9, Size: 100, Interval: time.Millisecond, Count: 100}
+	src.Run()
+	k.Run()
+	if probe.Stats.Pkts != 100 {
+		t.Fatalf("probe pkts = %d, want 100", probe.Stats.Pkts)
+	}
+	// wire bytes = 100 payload + 28 header + 38 framing = 166 each
+	if probe.Stats.Octets != 16600 {
+		t.Fatalf("probe octets = %d, want 16600", probe.Stats.Octets)
+	}
+	if probe.Stats.Pkts128to255 != 100 {
+		t.Fatalf("size bucket: %+v", probe.Stats)
+	}
+}
+
+func TestProbeSeesErrorsAndKeepsCountingUnderLoad(t *testing.T) {
+	cfg := netsim.Ethernet10()
+	cfg.LossProb = 0.05
+	k, _, _, probe, a, b := fixture(t, cfg)
+	netsim.NewSink(b, 9)
+	// Offered ≈ 9.8 Mb/s of 10 Mb/s: heavy load.
+	src := &netsim.CBRSource{Src: a, Dst: "b", DstPort: 9, Size: 1200, Interval: time.Millisecond, Count: 3000}
+	src.Run()
+	k.Run()
+	if probe.Stats.CRCAlignErrors == 0 {
+		t.Fatal("probe saw no corrupted frames at 5% loss")
+	}
+	// Passive collection is lossless: every frame on the wire is counted.
+	if probe.Stats.Pkts != uint64(src.Sent)-a.Ifaces()[0].Counters.OutDiscards {
+		t.Fatalf("probe pkts = %d, sent = %d, egress drops = %d",
+			probe.Stats.Pkts, src.Sent, a.Ifaces()[0].Counters.OutDiscards)
+	}
+}
+
+func TestHistorySampling(t *testing.T) {
+	k, _, _, probe, a, b := fixture(t, netsim.Ethernet10())
+	netsim.NewSink(b, 9)
+	h := probe.AddHistory(100*time.Millisecond, 5)
+	// 500B every 10ms = 400 kb/s payload; wire = 566B/10ms ≈ 4.5% util.
+	src := &netsim.CBRSource{Src: a, Dst: "b", DstPort: 9, Size: 500, Interval: 10 * time.Millisecond, Count: 200}
+	src.Run()
+	k.RunUntil(2100 * time.Millisecond)
+	samples := h.Samples()
+	if len(samples) != 5 {
+		t.Fatalf("retained %d buckets, want 5 (ring)", len(samples))
+	}
+	// Buckets are 100ms apart and indices increase.
+	for i := 1; i < len(samples); i++ {
+		if samples[i].Index != samples[i-1].Index+1 {
+			t.Fatalf("bucket indices not sequential: %+v", samples)
+		}
+	}
+	// During the active first 2s the utilization per bucket ≈ 4.5%.
+	if s := samples[0]; s.Octets == 0 && s.Index <= 20 {
+		t.Logf("note: early bucket empty: %+v", s)
+	}
+}
+
+func TestHistoryUtilizationMath(t *testing.T) {
+	// 1 Mb over 1s on a 10 Mb/s wire is 10%.
+	u := UtilizationPercent(125000, time.Second, 10_000_000)
+	if u < 9.99 || u > 10.01 {
+		t.Fatalf("utilization = %f, want 10", u)
+	}
+}
+
+func TestAlarmRisingFallingHysteresis(t *testing.T) {
+	k, _, _, probe, a, b := fixture(t, netsim.Ethernet10())
+	netsim.NewSink(b, 9)
+	tree := mib.NewTree()
+	probe.Register(tree)
+	rising := probe.AddEvent("high traffic", true, false)
+	falling := probe.AddEvent("traffic normal", true, false)
+	// Delta of etherStatsPkts (col 5) per second: rising at 50 pkts/s.
+	alarm := probe.AddAlarm(tree, Alarm{
+		Interval:     time.Second,
+		Variable:     EtherStatsOID(5),
+		SampleType:   DeltaValue,
+		Rising:       50,
+		Falling:      10,
+		RisingEvent:  rising,
+		FallingEvent: falling,
+	})
+	// Burst from t=2s to t=4s at 100 pkts/s; quiet otherwise.
+	k.At(2*time.Second, func() {
+		(&netsim.CBRSource{Src: a, Dst: "b", DstPort: 9, Size: 100, Interval: 10 * time.Millisecond, Count: 200}).Run()
+	})
+	k.RunUntil(10 * time.Second)
+	if alarm.RisingFired != 1 {
+		t.Fatalf("rising fired %d times, want exactly 1 (hysteresis)", alarm.RisingFired)
+	}
+	if alarm.FallingFired < 1 {
+		t.Fatalf("falling fired %d times, want >= 1", alarm.FallingFired)
+	}
+	if len(rising.Entries) != 1 || len(falling.Entries) < 1 {
+		t.Fatalf("event logs: rising %d, falling %d", len(rising.Entries), len(falling.Entries))
+	}
+}
+
+func TestAlarmTrapEmission(t *testing.T) {
+	k, _, _, probe, a, b := fixture(t, netsim.Ethernet10())
+	netsim.NewSink(b, 9)
+	tree := mib.NewTree()
+	probe.Register(tree)
+	var traps []int
+	probe.TrapFunc = func(generic, specific int, binds []VarBind) {
+		traps = append(traps, specific)
+	}
+	ev := probe.AddEvent("threshold", false, true)
+	probe.AddAlarm(tree, Alarm{
+		Interval:    500 * time.Millisecond,
+		Variable:    EtherStatsOID(4), // octets
+		SampleType:  AbsoluteValue,
+		Rising:      1000,
+		Falling:     -1,
+		RisingEvent: ev,
+	})
+	(&netsim.CBRSource{Src: a, Dst: "b", DstPort: 9, Size: 500, Interval: 50 * time.Millisecond, Count: 50}).Run()
+	k.RunUntil(5 * time.Second)
+	if len(traps) != 1 || traps[0] != 1 {
+		t.Fatalf("traps = %v, want one rising (specific=1)", traps)
+	}
+}
+
+func TestChannelFilterAndCapture(t *testing.T) {
+	k, _, _, probe, a, b := fixture(t, netsim.Ethernet10())
+	netsim.NewSink(b, 9)
+	netsim.NewSink(a, 9)
+	ch := probe.AddChannel(Filter{Src: "a", AnyProto: true}, 10, 16)
+	(&netsim.CBRSource{Src: a, Dst: "b", DstPort: 9, Size: 100, Interval: time.Millisecond, Count: 20}).Run()
+	(&netsim.CBRSource{Src: b, Dst: "a", DstPort: 9, Size: 100, Interval: time.Millisecond, Count: 20}).Run()
+	k.Run()
+	if ch.Accepted != 20 {
+		t.Fatalf("channel accepted %d, want 20 (only a's frames)", ch.Accepted)
+	}
+	if ch.Buffered() != 10 || ch.Dropped != 10 {
+		t.Fatalf("buffer %d / dropped %d, want 10/10", ch.Buffered(), ch.Dropped)
+	}
+	frames := ch.Download()
+	if len(frames) != 10 || frames[0].Src != "a" {
+		t.Fatalf("download: %d frames, first src %s", len(frames), frames[0].Src)
+	}
+	if ch.Buffered() != 0 {
+		t.Fatal("download did not drain buffer")
+	}
+}
+
+func TestRegisterExposesTables(t *testing.T) {
+	k, _, _, probe, a, b := fixture(t, netsim.Ethernet10())
+	netsim.NewSink(b, 9)
+	tree := mib.NewTree()
+	probe.Register(tree)
+	probe.AddHistory(100*time.Millisecond, 4)
+	probe.AddEvent("e", true, false)
+	(&netsim.CBRSource{Src: a, Dst: "b", DstPort: 9, Size: 64, Interval: 5 * time.Millisecond, Count: 100}).Run()
+	k.RunUntil(time.Second)
+	stats := tree.Walk(mib.RMONRoot.Append(1))
+	if len(stats) != 19 {
+		t.Fatalf("etherStats columns = %d, want 19", len(stats))
+	}
+	pkts, ok := tree.Get(EtherStatsOID(5))
+	if !ok || pkts.Uint != 100 {
+		t.Fatalf("etherStatsPkts = %+v, %v", pkts, ok)
+	}
+	hist := tree.Walk(mib.RMONRoot.Append(2))
+	if len(hist) == 0 {
+		t.Fatal("no history entries exposed")
+	}
+	events := tree.Walk(mib.RMONRoot.Append(9))
+	if len(events) != 4 {
+		t.Fatalf("event columns = %d, want 4", len(events))
+	}
+}
+
+func TestDeadProbeFreezes(t *testing.T) {
+	k, _, _, probe, a, b := fixture(t, netsim.Ethernet10())
+	netsim.NewSink(b, 9)
+	(&netsim.CBRSource{Src: a, Dst: "b", DstPort: 9, Size: 100, Interval: 10 * time.Millisecond, Count: 100}).Run()
+	k.At(500*time.Millisecond, func() { probe.Node.SetUp(false) })
+	k.Run()
+	if probe.Stats.Pkts >= 100 {
+		t.Fatalf("dead probe kept counting: %d", probe.Stats.Pkts)
+	}
+	if probe.Stats.Pkts < 40 {
+		t.Fatalf("probe missed frames while alive: %d", probe.Stats.Pkts)
+	}
+}
+
+func TestHistoryControlTableExposed(t *testing.T) {
+	k, _, _, probe, _, _ := fixture(t, netsim.Ethernet10())
+	probe.AddHistory(2*time.Second, 8)
+	probe.AddHistory(30*time.Second, 4)
+	tree := mib.NewTree()
+	probe.Register(tree)
+	k.RunUntil(time.Millisecond)
+	rows := tree.Walk(mib.RMONRoot.Append(2, 1))
+	if len(rows) != 2*5 {
+		t.Fatalf("historyControl entries = %d, want 10", len(rows))
+	}
+	// Interval column (5) of row 2 is 30 seconds.
+	v, ok := tree.Get(mib.RMONRoot.Append(2, 1, 1, 5, 2))
+	if !ok || v.Int != 30 {
+		t.Fatalf("interval = %+v, %v", v, ok)
+	}
+	// Buckets granted (4) of row 1.
+	v, _ = tree.Get(mib.RMONRoot.Append(2, 1, 1, 4, 1))
+	if v.Int != 8 {
+		t.Fatalf("buckets = %+v", v)
+	}
+}

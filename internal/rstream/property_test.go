@@ -1,0 +1,170 @@
+package rstream
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+func TestPropertyStreamIntegrityUnderLoss(t *testing.T) {
+	// Property: whatever mix of send sizes and loss rate, the receiver
+	// observes exactly the bytes sent, and SndUna converges to SndNxt.
+	f := func(seed int64, lossPct uint8, rawSizes []uint16) bool {
+		if len(rawSizes) == 0 {
+			return true
+		}
+		if len(rawSizes) > 20 {
+			rawSizes = rawSizes[:20]
+		}
+		total := 0
+		sizes := make([]int, len(rawSizes))
+		for i, s := range rawSizes {
+			sizes[i] = int(s)%4000 + 1
+			total += sizes[i]
+		}
+		k := sim.NewKernel()
+		defer k.Close()
+		nw := netsim.New(k, seed)
+		srv := nw.NewHost("server")
+		cli := nw.NewHost("client")
+		cfg := netsim.Ethernet10()
+		cfg.LossProb = float64(lossPct%10) / 100
+		seg := nw.NewSegment("lan", cfg)
+		seg.Attach(srv)
+		seg.Attach(cli)
+		l := Listen(srv, 5000)
+		received := 0
+		srv.Spawn("acceptor", func(p *sim.Proc) {
+			c, ok := l.Accept(p, 30*time.Second)
+			if !ok {
+				return
+			}
+			for {
+				n, ok := c.Recv(p, 60*time.Second)
+				if !ok {
+					return
+				}
+				received += n
+			}
+		})
+		var vars StateVars
+		done := false
+		cli.Spawn("sender", func(p *sim.Proc) {
+			c, err := Dial(p, cli, "server", 5000, 10*time.Second)
+			if err != nil {
+				return
+			}
+			for _, sz := range sizes {
+				if c.Send(p, sz) != nil {
+					return
+				}
+			}
+			if !c.Flush(p, 10*time.Minute) {
+				return
+			}
+			vars = c.Vars()
+			done = true
+		})
+		k.RunUntil(20 * time.Minute)
+		return done && received == total && vars.SndUna == vars.SndNxt
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertySequenceAccounting(t *testing.T) {
+	// Property: BytesIn at the receiver equals RcvNxt - IRS - 1 (SYN takes
+	// one sequence number) for any transfer size.
+	f := func(nChunks uint8) bool {
+		n := int(nChunks)%30 + 1
+		k := sim.NewKernel()
+		defer k.Close()
+		nw := netsim.New(k, 5)
+		srv := nw.NewHost("server")
+		cli := nw.NewHost("client")
+		seg := nw.NewSegment("lan", netsim.Ethernet10())
+		seg.Attach(srv)
+		seg.Attach(cli)
+		l := Listen(srv, 5000)
+		var serverConn *Conn
+		srv.Spawn("acceptor", func(p *sim.Proc) {
+			c, ok := l.Accept(p, 10*time.Second)
+			if !ok {
+				return
+			}
+			serverConn = c
+			for {
+				if _, ok := c.Recv(p, 30*time.Second); !ok {
+					return
+				}
+			}
+		})
+		cli.Spawn("sender", func(p *sim.Proc) {
+			c, err := Dial(p, cli, "server", 5000, 5*time.Second)
+			if err != nil {
+				return
+			}
+			for i := 0; i < n; i++ {
+				c.Send(p, 500)
+			}
+			c.Flush(p, time.Minute)
+		})
+		k.RunUntil(5 * time.Minute)
+		if serverConn == nil {
+			return false
+		}
+		v := serverConn.Vars()
+		return v.BytesIn == uint64(n)*500 && uint64(v.RcvNxt-v.IRS-1) == v.BytesIn
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamSurvivesDuplication(t *testing.T) {
+	// 20% duplicated frames: the receiver must still see exactly the
+	// bytes sent once (go-back-N discards out-of-window repeats).
+	k := sim.NewKernel()
+	defer k.Close()
+	nw := netsim.New(k, 9)
+	srv := nw.NewHost("server")
+	cli := nw.NewHost("client")
+	cfg := netsim.Ethernet10()
+	cfg.DupProb = 0.2
+	seg := nw.NewSegment("lan", cfg)
+	seg.Attach(srv)
+	seg.Attach(cli)
+	l := Listen(srv, 5000)
+	received := 0
+	srv.Spawn("acceptor", func(p *sim.Proc) {
+		c, ok := l.Accept(p, 10*time.Second)
+		if !ok {
+			return
+		}
+		for {
+			n, ok := c.Recv(p, 30*time.Second)
+			if !ok {
+				return
+			}
+			received += n
+		}
+	})
+	total := 128 << 10
+	done := false
+	cli.Spawn("sender", func(p *sim.Proc) {
+		c, err := Dial(p, cli, "server", 5000, 5*time.Second)
+		if err != nil {
+			return
+		}
+		c.Send(p, total)
+		done = c.Flush(p, 2*time.Minute)
+	})
+	k.RunUntil(5 * time.Minute)
+	if !done || received != total {
+		t.Fatalf("done=%v received=%d want %d", done, received, total)
+	}
+}

@@ -1,0 +1,14 @@
+package rstream
+
+import "reflect"
+
+// fieldNames lists the fields of StateVars via reflection so the count
+// check cannot drift from the struct definition.
+func fieldNames() []string {
+	t := reflect.TypeOf(StateVars{})
+	names := make([]string, 0, t.NumField())
+	for i := 0; i < t.NumField(); i++ {
+		names = append(names, t.Field(i).Name)
+	}
+	return names
+}

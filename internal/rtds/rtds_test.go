@@ -1,0 +1,185 @@
+package rtds
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+func TestRadarKinematics(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Close()
+	r := NewRadar(k, 7, 30, 100*time.Millisecond)
+	if len(r.Tracks) != 30 {
+		t.Fatalf("tracks = %d", len(r.Tracks))
+	}
+	x0 := r.Tracks[0].X
+	k.RunUntil(time.Second)
+	moved := r.Tracks[0].X - x0
+	want := r.Tracks[0].VX // 1 second of travel
+	if moved == 0 {
+		t.Fatal("track did not move")
+	}
+	if diff := moved - want; diff > 1 || diff < -1 {
+		t.Fatalf("moved %.1f m, want %.1f", moved, want)
+	}
+}
+
+func TestInboundTracksClose(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Close()
+	r := NewRadar(k, 7, 9, 100*time.Millisecond)
+	// Every third target is inbound: closing speed positive and large.
+	closing := 0
+	for i, tr := range r.Tracks {
+		if i%3 == 0 && tr.ClosingSpeed() > 50 {
+			closing++
+		}
+	}
+	if closing != 3 {
+		t.Fatalf("inbound closing tracks = %d, want 3", closing)
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	tracks := []Track{
+		{ID: 1, X: 1000, Y: -2000, VX: 100, VY: 50},
+		{ID: 2, X: -500, Y: 300, VX: -10, VY: -20},
+	}
+	b := encodeBatch(42, tracks, 5*time.Second)
+	seq, sentAt, got, ok := decodeBatch(b)
+	if !ok || seq != 42 || sentAt != 5*time.Second || len(got) != 2 {
+		t.Fatalf("decode: %v %v %d %v", seq, sentAt, len(got), ok)
+	}
+	if got[0] != tracks[0] || got[1] != tracks[1] {
+		t.Fatalf("tracks round trip: %+v", got)
+	}
+}
+
+func TestBatchCapsAtMessageLength(t *testing.T) {
+	many := make([]Track, 500)
+	b := encodeBatch(1, many, 0)
+	if len(b) > UpdateLen {
+		t.Fatalf("batch %d bytes exceeds L=%d", len(b), UpdateLen)
+	}
+	_, _, got, ok := decodeBatch(b)
+	if !ok || len(got) == 0 || len(got) >= 500 {
+		t.Fatalf("capped batch decode: %d tracks, %v", len(got), ok)
+	}
+}
+
+func TestDistributionOverTestbed(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Close()
+	h := topo.BuildHiPerD(k, 1)
+	radar := NewRadar(k, 7, 40, 100*time.Millisecond)
+	StartServer(h.Servers[0], radar, []netsim.Addr{"c1", "c5"})
+	c1 := StartClient(h.Clients[0])
+	c5 := StartClient(h.Clients[4])
+	k.RunUntil(3 * time.Second)
+	// 3s / 30ms = 100 updates to each client.
+	if c1.UpdatesReceived < 95 || c5.UpdatesReceived < 95 {
+		t.Fatalf("updates: c1=%d c5=%d, want ≈100", c1.UpdatesReceived, c5.UpdatesReceived)
+	}
+	if c1.LastLatency <= 0 || c1.LastLatency > 50*time.Millisecond {
+		t.Fatalf("update latency = %v", c1.LastLatency)
+	}
+	if c1.Staleness(k.Now()) > 100*time.Millisecond {
+		t.Fatalf("staleness = %v", c1.Staleness(k.Now()))
+	}
+}
+
+func TestClientsEngageInboundHostiles(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Close()
+	h := topo.BuildHiPerD(k, 1)
+	radar := NewRadar(k, 7, 30, 100*time.Millisecond)
+	StartServer(h.Servers[0], radar, []netsim.Addr{"c1"})
+	c := StartClient(h.Clients[0])
+	// Inbound targets at 50-200km closing at 100-600 m/s: within 600
+	// virtual seconds several cross the 40 km engagement radius.
+	k.RunUntil(600 * time.Second)
+	if len(c.Engagements) == 0 {
+		t.Fatal("no engagements after 10 minutes of inbound raids")
+	}
+	seen := map[uint32]bool{}
+	for _, e := range c.Engagements {
+		if seen[e.TrackID] {
+			t.Fatalf("track %d engaged twice", e.TrackID)
+		}
+		seen[e.TrackID] = true
+		if e.Range > c.EngageRange {
+			t.Fatalf("engaged at %.0f m, beyond %v", e.Range, c.EngageRange)
+		}
+	}
+}
+
+func TestServerStopCeasesTraffic(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Close()
+	h := topo.BuildHiPerD(k, 1)
+	radar := NewRadar(k, 7, 10, 100*time.Millisecond)
+	s := StartServer(h.Servers[0], radar, []netsim.Addr{"c1"})
+	c := StartClient(h.Clients[0])
+	k.RunUntil(time.Second)
+	s.Stop()
+	k.RunUntil(1100 * time.Millisecond) // let the loop observe the flag
+	got := c.UpdatesReceived
+	k.RunUntil(3 * time.Second)
+	if c.UpdatesReceived > got+1 {
+		t.Fatalf("updates kept flowing after stop: %d -> %d", got, c.UpdatesReceived)
+	}
+}
+
+func TestGapDetectionOnLoss(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Close()
+	nw := netsim.New(k, 3)
+	srv := nw.NewHost("srv")
+	cli := nw.NewHost("cli")
+	cfg := netsim.Ethernet10()
+	cfg.LossProb = 0.2
+	seg := nw.NewSegment("lossy", cfg)
+	seg.Attach(srv)
+	seg.Attach(cli)
+	radar := NewRadar(k, 7, 10, 100*time.Millisecond)
+	StartServer(srv, radar, []netsim.Addr{"cli"})
+	c := StartClient(cli)
+	k.RunUntil(10 * time.Second)
+	if c.Gaps == 0 {
+		t.Fatal("20% loss produced no sequence gaps")
+	}
+	if c.UpdatesReceived == 0 {
+		t.Fatal("nothing delivered")
+	}
+}
+
+func TestFailoverRestartOnNewHost(t *testing.T) {
+	// The §5.1 survivability scenario end to end at the app layer: server
+	// host dies, a new instance resumes on a spare, clients keep getting
+	// track data.
+	k := sim.NewKernel()
+	defer k.Close()
+	h := topo.BuildHiPerD(k, 1)
+	radar := NewRadar(k, 7, 20, 100*time.Millisecond)
+	s1 := StartServer(h.Servers[0], radar, []netsim.Addr{"c1"})
+	c := StartClient(h.Clients[0])
+	k.At(2*time.Second, func() {
+		h.Servers[0].SetUp(false)
+		s1.Stop()
+	})
+	k.At(3*time.Second, func() {
+		StartServer(h.Servers[1], radar, []netsim.Addr{"c1"})
+	})
+	k.RunUntil(6 * time.Second)
+	// Outage 2s-3s; after restart the picture freshens again.
+	if c.Staleness(k.Now()) > 100*time.Millisecond {
+		t.Fatalf("staleness after failover = %v", c.Staleness(k.Now()))
+	}
+	if c.UpdatesReceived < 150 {
+		t.Fatalf("updates = %d", c.UpdatesReceived)
+	}
+}

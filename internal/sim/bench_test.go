@@ -1,0 +1,66 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkEventDispatch(b *testing.B) {
+	k := NewKernel()
+	defer k.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.After(time.Microsecond, func() {})
+		if i%1024 == 1023 {
+			k.Run()
+		}
+	}
+	k.Run()
+}
+
+func BenchmarkProcContextSwitch(b *testing.B) {
+	k := NewKernel()
+	defer k.Close()
+	done := false
+	k.Spawn("spinner", func(p *Proc) {
+		for !done {
+			p.Sleep(time.Microsecond)
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	// Each RunUntil step forces one park/resume round trip.
+	for i := 0; i < b.N; i++ {
+		k.RunUntil(time.Duration(i+1) * time.Microsecond)
+	}
+	done = true
+	k.RunUntil(time.Duration(b.N+2) * time.Microsecond)
+}
+
+func BenchmarkQueuePutGet(b *testing.B) {
+	k := NewKernel()
+	defer k.Close()
+	q := NewQueue[int](k, 0)
+	n := 0
+	k.Spawn("consumer", func(p *Proc) {
+		for {
+			if _, ok := q.Get(p, -1); !ok {
+				return
+			}
+			n++
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Put(i)
+		if i%1024 == 1023 {
+			k.Run()
+		}
+	}
+	k.Run()
+	if n == 0 {
+		b.Fatal("nothing consumed")
+	}
+}

@@ -1,0 +1,41 @@
+package sim_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// ExampleKernel shows the process-oriented style: sequential code in procs,
+// virtual time, deterministic interleaving.
+func ExampleKernel() {
+	k := sim.NewKernel()
+	defer k.Close()
+
+	q := sim.NewQueue[string](k, 0)
+	k.Spawn("producer", func(p *sim.Proc) {
+		p.Sleep(10 * time.Millisecond)
+		q.Put("track update")
+	})
+	k.Spawn("consumer", func(p *sim.Proc) {
+		msg, ok := q.Get(p, time.Second)
+		fmt.Println(msg, ok, "at", p.Now())
+	})
+	k.Run()
+	// Output:
+	// track update true at 10ms
+}
+
+// ExampleKernel_every shows periodic work with a cancellable timer.
+func ExampleKernel_every() {
+	k := sim.NewKernel()
+	defer k.Close()
+	ticks := 0
+	t := k.Every(100*time.Millisecond, func() { ticks++ })
+	k.After(250*time.Millisecond, func() { t.Stop() })
+	k.Run()
+	fmt.Println(ticks, "ticks")
+	// Output:
+	// 2 ticks
+}

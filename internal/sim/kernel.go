@@ -1,0 +1,241 @@
+// Package sim provides a deterministic, process-oriented discrete-event
+// simulation kernel.
+//
+// A Kernel owns a virtual clock and an event queue. Simulated activities are
+// written as ordinary sequential Go code running in a Proc: a goroutine that
+// the kernel schedules cooperatively, one at a time, so that all simulated
+// state is accessed without data races and every run with the same seed is
+// bit-for-bit reproducible.
+//
+// Procs block on Proc.Sleep and on Queue operations; while a Proc runs, the
+// kernel waits, so at most one Proc executes at any instant. Time advances
+// only between events.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Kernel is a discrete-event scheduler with a virtual clock.
+// Create one with NewKernel; it is not safe for concurrent use from
+// multiple OS threads outside of its own Proc mechanism.
+type Kernel struct {
+	now     time.Duration
+	seq     uint64
+	events  eventHeap
+	parked  chan struct{} // signalled when the running proc parks or ends
+	procs   map[*Proc]struct{}
+	running bool
+	closed  bool
+	nprocs  int // procs spawned over the kernel lifetime (for naming)
+}
+
+// NewKernel returns an empty kernel with the clock at zero.
+func NewKernel() *Kernel {
+	return &Kernel{
+		parked: make(chan struct{}),
+		procs:  make(map[*Proc]struct{}),
+	}
+}
+
+// Now returns the current virtual time as an offset from the start of the
+// simulation.
+func (k *Kernel) Now() time.Duration { return k.now }
+
+// Rand returns a deterministic random source derived from the given seed.
+// Distinct subsystems should use distinct seeds so that adding draws in one
+// does not perturb another.
+func (k *Kernel) Rand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Timer is a handle to a scheduled event that may be cancelled.
+type Timer struct {
+	ev *event
+}
+
+// Stop cancels the timer. It is a no-op if the event already fired.
+// It reports whether the call prevented the event from firing.
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.cancelled || t.ev.fired {
+		return false
+	}
+	t.ev.cancelled = true
+	return true
+}
+
+// At schedules fn to run at absolute virtual time at. Times in the past run
+// at the current time (events never fire retroactively).
+func (k *Kernel) At(at time.Duration, fn func()) *Timer {
+	if at < k.now {
+		at = k.now
+	}
+	k.seq++
+	ev := &event{at: at, seq: k.seq, fn: fn}
+	heap.Push(&k.events, ev)
+	return &Timer{ev: ev}
+}
+
+// After schedules fn to run d from now.
+func (k *Kernel) After(d time.Duration, fn func()) *Timer {
+	return k.At(k.now+d, fn)
+}
+
+// Every schedules fn to run every period, starting one period from now,
+// until the returned Timer is stopped. fn observes the tick time via Now.
+func (k *Kernel) Every(period time.Duration, fn func()) *Timer {
+	if period <= 0 {
+		panic("sim: Every period must be positive")
+	}
+	t := &Timer{}
+	var tick func()
+	tick = func() {
+		fn()
+		if !t.ev.cancelled {
+			t.ev = k.After(period, tick).ev
+		}
+	}
+	t.ev = k.After(period, tick).ev
+	return t
+}
+
+// Spawn creates a new simulated process that begins executing fn at the
+// current virtual time. The name appears in diagnostics.
+func (k *Kernel) Spawn(name string, fn func(*Proc)) *Proc {
+	if k.closed {
+		panic("sim: Spawn on closed kernel")
+	}
+	k.nprocs++
+	if name == "" {
+		name = fmt.Sprintf("proc-%d", k.nprocs)
+	}
+	p := &Proc{k: k, name: name, resume: make(chan struct{})}
+	k.procs[p] = struct{}{}
+	go func() {
+		<-p.resume
+		if !p.killed {
+			func() {
+				defer func() {
+					if r := recover(); r != nil && r != errKilled {
+						panic(r)
+					}
+				}()
+				fn(p)
+			}()
+		}
+		p.done = true
+		delete(k.procs, p)
+		k.parked <- struct{}{}
+	}()
+	k.At(k.now, func() { k.resumeProc(p) })
+	return p
+}
+
+// resumeProc hands control to p and blocks until p parks again or finishes.
+// It must only be called from event context (inside Run).
+func (k *Kernel) resumeProc(p *Proc) {
+	if p.done {
+		return
+	}
+	p.resume <- struct{}{}
+	<-k.parked
+}
+
+// Run executes events until the queue is empty. It returns the number of
+// events processed. Procs blocked without timeouts when the queue drains
+// simply remain parked; call Close to release them.
+func (k *Kernel) Run() int {
+	return k.run(-1)
+}
+
+// RunUntil executes events with timestamps at or before deadline, then sets
+// the clock to deadline. It returns the number of events processed.
+func (k *Kernel) RunUntil(deadline time.Duration) int {
+	n := k.run(deadline)
+	if k.now < deadline {
+		k.now = deadline
+	}
+	return n
+}
+
+func (k *Kernel) run(deadline time.Duration) int {
+	if k.running {
+		panic("sim: Run called reentrantly")
+	}
+	k.running = true
+	defer func() { k.running = false }()
+	n := 0
+	for k.events.Len() > 0 {
+		ev := k.events[0]
+		if ev.cancelled {
+			heap.Pop(&k.events)
+			continue
+		}
+		if deadline >= 0 && ev.at > deadline {
+			break
+		}
+		heap.Pop(&k.events)
+		k.now = ev.at
+		ev.fired = true
+		ev.fn()
+		n++
+	}
+	return n
+}
+
+// Steps reports how many events are currently pending (cancelled events
+// still in the heap are not counted).
+func (k *Kernel) Steps() int {
+	n := 0
+	for _, ev := range k.events {
+		if !ev.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+// Close terminates all parked procs and releases their goroutines. The
+// kernel must not be used afterwards. It is safe to call more than once.
+func (k *Kernel) Close() {
+	if k.closed {
+		return
+	}
+	k.closed = true
+	for p := range k.procs {
+		p.killed = true
+		p.resume <- struct{}{}
+		<-k.parked
+	}
+}
+
+type event struct {
+	at        time.Duration
+	seq       uint64
+	fn        func()
+	cancelled bool
+	fired     bool
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

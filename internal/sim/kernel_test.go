@@ -1,0 +1,413 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestClockStartsAtZero(t *testing.T) {
+	k := NewKernel()
+	if k.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0", k.Now())
+	}
+}
+
+func TestAfterOrdering(t *testing.T) {
+	k := NewKernel()
+	var got []int
+	k.After(30*time.Millisecond, func() { got = append(got, 3) })
+	k.After(10*time.Millisecond, func() { got = append(got, 1) })
+	k.After(20*time.Millisecond, func() { got = append(got, 2) })
+	k.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if k.Now() != 30*time.Millisecond {
+		t.Fatalf("Now() = %v, want 30ms", k.Now())
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	k := NewKernel()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.After(time.Second, func() { got = append(got, i) })
+	}
+	k.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-timestamp events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	k := NewKernel()
+	fired := false
+	tm := k.After(time.Second, func() { fired = true })
+	if !tm.Stop() {
+		t.Fatal("Stop() = false on pending timer")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop() = true")
+	}
+	k.Run()
+	if fired {
+		t.Fatal("cancelled timer fired")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	k := NewKernel()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		k.After(time.Duration(i)*time.Second, func() { count++ })
+	}
+	n := k.RunUntil(5 * time.Second)
+	if n != 5 || count != 5 {
+		t.Fatalf("RunUntil processed %d (count %d), want 5", n, count)
+	}
+	if k.Now() != 5*time.Second {
+		t.Fatalf("Now() = %v, want 5s", k.Now())
+	}
+	k.Run()
+	if count != 10 {
+		t.Fatalf("after Run count = %d, want 10", count)
+	}
+}
+
+func TestEvery(t *testing.T) {
+	k := NewKernel()
+	var ticks []time.Duration
+	tm := k.Every(100*time.Millisecond, func() { ticks = append(ticks, k.Now()) })
+	k.After(350*time.Millisecond, func() { tm.Stop() })
+	k.Run()
+	if len(ticks) != 3 {
+		t.Fatalf("ticks = %v, want 3 ticks", ticks)
+	}
+	for i, at := range ticks {
+		want := time.Duration(i+1) * 100 * time.Millisecond
+		if at != want {
+			t.Fatalf("tick %d at %v, want %v", i, at, want)
+		}
+	}
+}
+
+func TestProcSleep(t *testing.T) {
+	k := NewKernel()
+	var wake time.Duration
+	k.Spawn("sleeper", func(p *Proc) {
+		p.Sleep(42 * time.Millisecond)
+		wake = p.Now()
+	})
+	k.Run()
+	if wake != 42*time.Millisecond {
+		t.Fatalf("woke at %v, want 42ms", wake)
+	}
+}
+
+func TestProcInterleaving(t *testing.T) {
+	k := NewKernel()
+	var trace []string
+	k.Spawn("a", func(p *Proc) {
+		trace = append(trace, "a0")
+		p.Sleep(2 * time.Millisecond)
+		trace = append(trace, "a2")
+	})
+	k.Spawn("b", func(p *Proc) {
+		trace = append(trace, "b0")
+		p.Sleep(1 * time.Millisecond)
+		trace = append(trace, "b1")
+		p.Sleep(2 * time.Millisecond)
+		trace = append(trace, "b3")
+	})
+	k.Run()
+	want := []string{"a0", "b0", "b1", "a2", "b3"}
+	if len(trace) != len(want) {
+		t.Fatalf("trace = %v, want %v", trace, want)
+	}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace = %v, want %v", trace, want)
+		}
+	}
+}
+
+func TestSpawnFromProc(t *testing.T) {
+	k := NewKernel()
+	var childRan bool
+	k.Spawn("parent", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		k.Spawn("child", func(c *Proc) {
+			c.Sleep(time.Millisecond)
+			childRan = true
+		})
+		p.Sleep(5 * time.Millisecond)
+	})
+	k.Run()
+	if !childRan {
+		t.Fatal("child proc did not run")
+	}
+}
+
+func TestQueuePutThenGet(t *testing.T) {
+	k := NewKernel()
+	q := NewQueue[int](k, 0)
+	var got int
+	var ok bool
+	k.Spawn("consumer", func(p *Proc) {
+		got, ok = q.Get(p, -1)
+	})
+	k.After(time.Millisecond, func() { q.Put(7) })
+	k.Run()
+	if !ok || got != 7 {
+		t.Fatalf("Get = (%d, %v), want (7, true)", got, ok)
+	}
+}
+
+func TestQueueGetTimeout(t *testing.T) {
+	k := NewKernel()
+	q := NewQueue[int](k, 0)
+	var ok bool
+	var at time.Duration
+	k.Spawn("consumer", func(p *Proc) {
+		_, ok = q.Get(p, 10*time.Millisecond)
+		at = p.Now()
+	})
+	k.Run()
+	if ok {
+		t.Fatal("Get succeeded with nothing produced")
+	}
+	if at != 10*time.Millisecond {
+		t.Fatalf("timed out at %v, want 10ms", at)
+	}
+}
+
+func TestQueueItemBeatsTimeout(t *testing.T) {
+	k := NewKernel()
+	q := NewQueue[string](k, 0)
+	var got string
+	var ok bool
+	k.Spawn("consumer", func(p *Proc) {
+		got, ok = q.Get(p, 10*time.Millisecond)
+	})
+	k.After(5*time.Millisecond, func() { q.Put("hello") })
+	k.Run()
+	if !ok || got != "hello" {
+		t.Fatalf("Get = (%q, %v), want (hello, true)", got, ok)
+	}
+}
+
+func TestQueueBoundedDrops(t *testing.T) {
+	k := NewKernel()
+	q := NewQueue[int](k, 2)
+	if !q.Put(1) || !q.Put(2) {
+		t.Fatal("puts within capacity failed")
+	}
+	if q.Put(3) {
+		t.Fatal("put beyond capacity succeeded")
+	}
+	if q.Dropped() != 1 {
+		t.Fatalf("Dropped() = %d, want 1", q.Dropped())
+	}
+	if q.Len() != 2 {
+		t.Fatalf("Len() = %d, want 2", q.Len())
+	}
+}
+
+func TestQueueFIFOAcrossWaiters(t *testing.T) {
+	k := NewKernel()
+	q := NewQueue[int](k, 0)
+	var order []int
+	for i := 0; i < 3; i++ {
+		i := i
+		k.Spawn("c", func(p *Proc) {
+			v, ok := q.Get(p, -1)
+			if ok {
+				order = append(order, v*10+i)
+			}
+		})
+	}
+	k.After(time.Millisecond, func() {
+		q.Put(0)
+		q.Put(1)
+		q.Put(2)
+	})
+	k.Run()
+	// Waiter i receives item i: first-come first-served.
+	want := []int{0, 11, 22}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("delivery order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestQueueDrain(t *testing.T) {
+	k := NewKernel()
+	q := NewQueue[int](k, 0)
+	q.Put(1)
+	q.Put(2)
+	items := q.Drain()
+	if len(items) != 2 || items[0] != 1 || items[1] != 2 {
+		t.Fatalf("Drain = %v", items)
+	}
+	if q.Len() != 0 {
+		t.Fatal("queue not empty after Drain")
+	}
+}
+
+func TestCloseReleasesParkedProcs(t *testing.T) {
+	k := NewKernel()
+	q := NewQueue[int](k, 0)
+	cleanedUp := false
+	k.Spawn("stuck", func(p *Proc) {
+		defer func() { cleanedUp = true }()
+		q.Get(p, -1) // never satisfied
+	})
+	k.Run()
+	k.Close()
+	if cleanedUp {
+		t.Log("deferred cleanup ran on Close") // defers are skipped by design: the panic sentinel unwinds
+	}
+	if len(k.procs) != 0 {
+		t.Fatalf("procs remaining after Close: %d", len(k.procs))
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func(seed int64) []time.Duration {
+		k := NewKernel()
+		defer k.Close()
+		rng := k.Rand(seed)
+		q := NewQueue[int](k, 0)
+		var arrivals []time.Duration
+		k.Spawn("producer", func(p *Proc) {
+			for i := 0; i < 50; i++ {
+				p.Sleep(time.Duration(rng.Intn(1000)) * time.Microsecond)
+				q.Put(i)
+			}
+		})
+		k.Spawn("consumer", func(p *Proc) {
+			for i := 0; i < 50; i++ {
+				if _, ok := q.Get(p, -1); ok {
+					arrivals = append(arrivals, p.Now())
+				}
+			}
+		})
+		k.Run()
+		return arrivals
+	}
+	a, b := run(42), run(42)
+	if len(a) != 50 || len(b) != 50 {
+		t.Fatalf("runs produced %d and %d arrivals, want 50", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestPropertyEventOrdering(t *testing.T) {
+	// Property: for any set of delays, events fire in nondecreasing time
+	// order, and equal times preserve insertion order.
+	f := func(delays []uint16) bool {
+		k := NewKernel()
+		type fireRec struct {
+			at  time.Duration
+			seq int
+		}
+		var fired []fireRec
+		for i, d := range delays {
+			i, at := i, time.Duration(d)*time.Microsecond
+			k.After(at, func() { fired = append(fired, fireRec{k.Now(), i}) })
+		}
+		k.Run()
+		if len(fired) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i].at < fired[i-1].at {
+				return false
+			}
+			if fired[i].at == fired[i-1].at && fired[i].seq < fired[i-1].seq {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyQueueFIFO(t *testing.T) {
+	// Property: items come out of the queue in the order they went in.
+	f := func(items []int8) bool {
+		k := NewKernel()
+		defer k.Close()
+		q := NewQueue[int8](k, 0)
+		var got []int8
+		k.Spawn("consumer", func(p *Proc) {
+			for range items {
+				v, ok := q.Get(p, -1)
+				if !ok {
+					return
+				}
+				got = append(got, v)
+			}
+		})
+		k.Spawn("producer", func(p *Proc) {
+			for _, it := range items {
+				p.Sleep(time.Microsecond)
+				q.Put(it)
+			}
+		})
+		k.Run()
+		if len(got) != len(items) {
+			return false
+		}
+		for i := range items {
+			if got[i] != items[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStepsExcludesCancelled(t *testing.T) {
+	k := NewKernel()
+	k.After(time.Second, func() {})
+	tm := k.After(2*time.Second, func() {})
+	tm.Stop()
+	if k.Steps() != 1 {
+		t.Fatalf("Steps() = %d, want 1", k.Steps())
+	}
+}
+
+func TestYieldRunsPendingEvents(t *testing.T) {
+	k := NewKernel()
+	var trace []string
+	k.Spawn("a", func(p *Proc) {
+		trace = append(trace, "a-before")
+		p.Yield()
+		trace = append(trace, "a-after")
+	})
+	k.Spawn("b", func(p *Proc) {
+		trace = append(trace, "b")
+	})
+	k.Run()
+	if trace[0] != "a-before" || trace[1] != "b" || trace[2] != "a-after" {
+		t.Fatalf("trace = %v", trace)
+	}
+}

@@ -1,0 +1,101 @@
+package sim
+
+import "time"
+
+// Queue is an unbounded-or-bounded FIFO connecting simulated processes.
+// Producers call Put (or TryPut when the queue is bounded); consumers call
+// Get, which blocks the calling Proc until an item arrives or the timeout
+// elapses. All operations run under the kernel's cooperative scheduling, so
+// no locking is required.
+type Queue[T any] struct {
+	k       *Kernel
+	items   []T
+	cap     int // 0 means unbounded
+	dropped int
+	waiters []*qwaiter[T]
+}
+
+type qwaiter[T any] struct {
+	p     *Proc
+	item  T
+	ok    bool
+	fired bool
+	timer *Timer
+}
+
+// NewQueue returns a queue with the given capacity; capacity 0 means
+// unbounded. When a bounded queue is full, Put drops the item (tail drop)
+// and records it in Dropped.
+func NewQueue[T any](k *Kernel, capacity int) *Queue[T] {
+	return &Queue[T]{k: k, cap: capacity}
+}
+
+// Len reports the number of buffered items.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Dropped reports the number of items discarded because the queue was full.
+func (q *Queue[T]) Dropped() int { return q.dropped }
+
+// Put appends an item, waking the longest-waiting consumer if any. On a full
+// bounded queue the item is dropped and Put reports false.
+func (q *Queue[T]) Put(item T) bool {
+	if len(q.waiters) > 0 {
+		w := q.waiters[0]
+		q.waiters = q.waiters[1:]
+		w.item = item
+		w.ok = true
+		w.fired = true
+		if w.timer != nil {
+			w.timer.Stop()
+		}
+		q.k.At(q.k.now, func() { q.k.resumeProc(w.p) })
+		return true
+	}
+	if q.cap > 0 && len(q.items) >= q.cap {
+		q.dropped++
+		return false
+	}
+	q.items = append(q.items, item)
+	return true
+}
+
+// Get removes and returns the oldest item, blocking the proc until one is
+// available. A negative timeout blocks forever; a zero timeout polls. The
+// second result is false when the timeout expired first.
+func (q *Queue[T]) Get(p *Proc, timeout time.Duration) (T, bool) {
+	if len(q.items) > 0 {
+		item := q.items[0]
+		q.items = q.items[1:]
+		return item, true
+	}
+	var zero T
+	if timeout == 0 {
+		return zero, false
+	}
+	w := &qwaiter[T]{p: p}
+	q.waiters = append(q.waiters, w)
+	if timeout > 0 {
+		w.timer = q.k.After(timeout, func() {
+			if w.fired {
+				return
+			}
+			w.fired = true
+			for i, x := range q.waiters {
+				if x == w {
+					q.waiters = append(q.waiters[:i], q.waiters[i+1:]...)
+					break
+				}
+			}
+			q.k.resumeProc(w.p)
+		})
+	}
+	p.park()
+	return w.item, w.ok
+}
+
+// Drain removes and returns all buffered items without blocking.
+func (q *Queue[T]) Drain() []T {
+	items := q.items
+	q.items = nil
+	return items
+}

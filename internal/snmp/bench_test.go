@@ -1,0 +1,61 @@
+package snmp
+
+import (
+	"testing"
+
+	"repro/internal/mib"
+)
+
+func benchMessage() *Message {
+	return &Message{
+		Version:   V2c,
+		Community: "public",
+		PDU: PDU{
+			Type:      GetResponse,
+			RequestID: 42,
+			VarBinds: []VarBind{
+				{OID: mib.SysUpTime, Value: mib.Ticks(123456)},
+				{OID: mib.IfEntry.Append(10, 1), Value: mib.Counter(987654321)},
+				{OID: mib.SysDescr, Value: mib.Str("repro simulated agent")},
+			},
+		},
+	}
+}
+
+func BenchmarkMessageEncode(b *testing.B) {
+	msg := benchMessage()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if msg.Encode() == nil {
+			b.Fatal("nil encoding")
+		}
+	}
+}
+
+func BenchmarkMessageDecode(b *testing.B) {
+	raw := benchMessage().Encode()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAgentHandleGet(b *testing.B) {
+	tr := mib.NewTree()
+	tr.RegisterConst(mib.SysDescr, mib.Str("bench"))
+	tr.RegisterScalar(mib.SysUpTime, func() mib.Value { return mib.Ticks(1) })
+	agent := NewAgent(tr, "public")
+	req := (&Message{Version: V2c, Community: "public", PDU: PDU{
+		Type:     GetRequest,
+		VarBinds: []VarBind{{OID: mib.SysUpTime, Value: mib.Null()}},
+	}}).Encode()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if agent.Handle(req) == nil {
+			b.Fatal("no response")
+		}
+	}
+}

@@ -1,0 +1,303 @@
+package snmp
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/mib"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// ErrTimeout reports a request that got no response within the retry
+// budget — the normal failure mode of SNMP-over-UDP under load (§5.2.4).
+var ErrTimeout = errors.New("snmp: request timed out")
+
+// ClientStats counts manager-side protocol activity.
+type ClientStats struct {
+	Requests  uint64
+	Retries   uint64
+	Timeouts  uint64
+	Responses uint64
+	BytesSent uint64
+	BytesRecv uint64
+}
+
+// Client is a manager-side SNMP endpoint on a simulated node.
+type Client struct {
+	Community string
+	Version   Version
+	Timeout   time.Duration
+	Retries   int
+
+	Stats ClientStats
+
+	node  *netsim.Node
+	sock  *netsim.UDPSock
+	reqID int32
+}
+
+// NewClient opens a manager endpoint on node.
+func NewClient(node *netsim.Node, community string) *Client {
+	return &Client{
+		Community: community,
+		Version:   V2c,
+		Timeout:   500 * time.Millisecond,
+		Retries:   1,
+		node:      node,
+		sock:      node.OpenUDP(0),
+	}
+}
+
+// Node returns the hosting node.
+func (c *Client) Node() *netsim.Node { return c.node }
+
+func (c *Client) request(p *sim.Proc, agent netsim.Addr, port netsim.Port, pdu PDU) (*Message, error) {
+	if port == 0 {
+		port = AgentPort
+	}
+	c.reqID++
+	pdu.RequestID = c.reqID
+	msg := &Message{Version: c.Version, Community: c.Community, PDU: pdu}
+	b := msg.Encode()
+	for attempt := 0; attempt <= c.Retries; attempt++ {
+		if attempt > 0 {
+			c.Stats.Retries++
+		}
+		c.Stats.Requests++
+		c.Stats.BytesSent += uint64(len(b))
+		c.sock.SendTo(agent, port, b)
+		deadline := p.Now() + c.Timeout
+		for {
+			remain := deadline - p.Now()
+			if remain <= 0 {
+				break
+			}
+			pkt, ok := c.sock.Recv(p, remain)
+			if !ok {
+				break
+			}
+			resp, err := Decode(pkt.Payload)
+			if err != nil || resp.PDU.Type != GetResponse {
+				continue
+			}
+			if resp.PDU.RequestID != pdu.RequestID {
+				continue // stale response from an earlier retry
+			}
+			c.Stats.Responses++
+			c.Stats.BytesRecv += uint64(len(pkt.Payload))
+			return resp, nil
+		}
+	}
+	c.Stats.Timeouts++
+	return nil, ErrTimeout
+}
+
+func bindsFor(oids []mib.OID) []VarBind {
+	binds := make([]VarBind, len(oids))
+	for i, o := range oids {
+		binds[i] = VarBind{OID: o, Value: mib.Null()}
+	}
+	return binds
+}
+
+// Get fetches exact OIDs from agent.
+func (c *Client) Get(p *sim.Proc, agent netsim.Addr, oids ...mib.OID) ([]VarBind, error) {
+	resp, err := c.request(p, agent, 0, PDU{Type: GetRequest, VarBinds: bindsFor(oids)})
+	if err != nil {
+		return nil, err
+	}
+	if resp.PDU.ErrorStatus != ErrNoError {
+		return nil, fmt.Errorf("snmp: get: error status %d at index %d", resp.PDU.ErrorStatus, resp.PDU.ErrorIndex)
+	}
+	return resp.PDU.VarBinds, nil
+}
+
+// GetNext fetches lexicographic successors.
+func (c *Client) GetNext(p *sim.Proc, agent netsim.Addr, oids ...mib.OID) ([]VarBind, error) {
+	resp, err := c.request(p, agent, 0, PDU{Type: GetNextRequest, VarBinds: bindsFor(oids)})
+	if err != nil {
+		return nil, err
+	}
+	if resp.PDU.ErrorStatus != ErrNoError {
+		return nil, fmt.Errorf("snmp: getnext: error status %d", resp.PDU.ErrorStatus)
+	}
+	return resp.PDU.VarBinds, nil
+}
+
+// Set writes values at agent.
+func (c *Client) Set(p *sim.Proc, agent netsim.Addr, binds ...VarBind) error {
+	resp, err := c.request(p, agent, 0, PDU{Type: SetRequest, VarBinds: binds})
+	if err != nil {
+		return err
+	}
+	if resp.PDU.ErrorStatus != ErrNoError {
+		return fmt.Errorf("snmp: set: error status %d at index %d", resp.PDU.ErrorStatus, resp.PDU.ErrorIndex)
+	}
+	return nil
+}
+
+// GetBulk issues a bulk request (v2c).
+func (c *Client) GetBulk(p *sim.Proc, agent netsim.Addr, nonRepeaters, maxReps int, oids ...mib.OID) ([]VarBind, error) {
+	resp, err := c.request(p, agent, 0, PDU{
+		Type:        GetBulkRequest,
+		ErrorStatus: nonRepeaters,
+		ErrorIndex:  maxReps,
+		VarBinds:    bindsFor(oids),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return resp.PDU.VarBinds, nil
+}
+
+// Walk retrieves every object under prefix using GetNext.
+func (c *Client) Walk(p *sim.Proc, agent netsim.Addr, prefix mib.OID) ([]VarBind, error) {
+	var out []VarBind
+	cur := prefix
+	for {
+		binds, err := c.GetNext(p, agent, cur)
+		if err != nil {
+			return out, err
+		}
+		if len(binds) == 0 {
+			return out, nil
+		}
+		vb := binds[0]
+		if vb.Value.Kind == mib.KindEndOfMIB || !vb.OID.HasPrefix(prefix) {
+			return out, nil
+		}
+		if len(out) > 0 && vb.OID.Cmp(out[len(out)-1].OID) <= 0 {
+			return out, fmt.Errorf("snmp: walk: agent OID ordering violation at %s", vb.OID)
+		}
+		out = append(out, vb)
+		cur = vb.OID
+	}
+}
+
+// BulkWalk retrieves every object under prefix using GetBulk.
+func (c *Client) BulkWalk(p *sim.Proc, agent netsim.Addr, prefix mib.OID, maxReps int) ([]VarBind, error) {
+	var out []VarBind
+	cur := prefix
+	for {
+		binds, err := c.GetBulk(p, agent, 0, maxReps, cur)
+		if err != nil {
+			return out, err
+		}
+		progressed := false
+		for _, vb := range binds {
+			if vb.Value.Kind == mib.KindEndOfMIB || !vb.OID.HasPrefix(prefix) {
+				return out, nil
+			}
+			out = append(out, vb)
+			cur = vb.OID
+			progressed = true
+		}
+		if !progressed {
+			return out, nil
+		}
+	}
+}
+
+// TrapSinkStats tracks the lifecycle of arriving traps.
+type TrapSinkStats struct {
+	Arrived   uint64 // reached the application queue
+	Dropped   uint64 // lost at the application queue (station overrun)
+	Processed uint64
+	SockDrops uint64 // lost in the socket receive buffer
+	// InformsAcked counts InformRequests acknowledged; unacked informs
+	// (queue full) leave the sender to retry — natural backpressure that
+	// plain traps lack.
+	InformsAcked uint64
+}
+
+// TrapSink is a management-station trap receiver with a bounded ingest
+// queue and a fixed per-trap processing cost — the model under which
+// SunNet Manager was overrun in §5.2.4.
+type TrapSink struct {
+	Node *netsim.Node
+	Port netsim.Port
+	// QueueCap bounds the application ingest queue.
+	QueueCap int
+	// ProcTime is the CPU time consumed per trap.
+	ProcTime time.Duration
+	// OnTrap is invoked for every processed trap.
+	OnTrap func(*Message, netsim.Addr)
+
+	Stats TrapSinkStats
+
+	sock  *netsim.UDPSock
+	queue *sim.Queue[trapItem]
+}
+
+type trapItem struct {
+	msg  *Message
+	from netsim.Addr
+}
+
+// StartTrapSink binds the sink and spawns its receiver and processor procs.
+func StartTrapSink(n *netsim.Node, port netsim.Port, queueCap int, procTime time.Duration) *TrapSink {
+	if port == 0 {
+		port = TrapPort
+	}
+	s := &TrapSink{
+		Node:     n,
+		Port:     port,
+		QueueCap: queueCap,
+		ProcTime: procTime,
+		sock:     n.OpenUDP(port),
+		queue:    sim.NewQueue[trapItem](n.Network().K, queueCap),
+	}
+	n.Spawn("trap-rx", func(p *sim.Proc) {
+		for {
+			pkt, ok := s.sock.Recv(p, -1)
+			if !ok {
+				return
+			}
+			msg, err := Decode(pkt.Payload)
+			if err != nil {
+				continue
+			}
+			switch msg.PDU.Type {
+			case TrapV1, TrapV2:
+				if s.queue.Put(trapItem{msg, pkt.Src}) {
+					s.Stats.Arrived++
+				} else {
+					s.Stats.Dropped++
+				}
+			case InformRequest:
+				// Acknowledge only what the station can actually ingest;
+				// an unacked inform is retried by its sender.
+				if s.queue.Put(trapItem{msg, pkt.Src}) {
+					s.Stats.Arrived++
+					s.Stats.InformsAcked++
+					ack := &Message{Version: msg.Version, Community: msg.Community}
+					ack.PDU = PDU{Type: GetResponse, RequestID: msg.PDU.RequestID, VarBinds: msg.PDU.VarBinds}
+					s.sock.SendTo(pkt.Src, pkt.SrcPort, ack.Encode())
+				} else {
+					s.Stats.Dropped++
+				}
+			}
+		}
+	})
+	n.Spawn("trap-proc", func(p *sim.Proc) {
+		for {
+			item, ok := s.queue.Get(p, -1)
+			if !ok {
+				return
+			}
+			if s.ProcTime > 0 {
+				p.Sleep(s.ProcTime)
+			}
+			s.Stats.Processed++
+			if s.OnTrap != nil {
+				s.OnTrap(item.msg, item.from)
+			}
+		}
+	})
+	return s
+}
+
+// SocketDrops reports traps lost in the kernel socket buffer.
+func (s *TrapSink) SocketDrops() uint64 { return s.sock.Drops }

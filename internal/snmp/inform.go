@@ -1,0 +1,107 @@
+package snmp
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/mib"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// InformRequest (SNMPv2c) is the acknowledged alternative to traps: the
+// receiver answers with a Response PDU and the sender retries until acked.
+// The paper observed traps being lost under load (§5.2.4); informs are the
+// COTS-era remedy, at the cost of more traffic and sender-side state. The
+// A1 ablation quantifies that trade.
+
+// ErrInformDropped reports an inform that exhausted its retries.
+var ErrInformDropped = errors.New("snmp: inform not acknowledged")
+
+// NotifierStats counts inform activity.
+type NotifierStats struct {
+	Sent   uint64 // inform attempts on the wire (including retries)
+	Acked  uint64 // informs acknowledged
+	Failed uint64 // informs abandoned after retries
+}
+
+// Notifier sends acknowledged notifications from a simulated node to one
+// management station.
+type Notifier struct {
+	Community string
+	Timeout   time.Duration
+	Retries   int
+
+	Stats NotifierStats
+
+	node  *netsim.Node
+	dst   netsim.Addr
+	port  netsim.Port
+	sock  *netsim.UDPSock
+	reqID int32
+}
+
+// NewNotifier creates an inform sender toward dst:port (TrapPort default).
+func NewNotifier(node *netsim.Node, dst netsim.Addr, port netsim.Port, community string) *Notifier {
+	if port == 0 {
+		port = TrapPort
+	}
+	return &Notifier{
+		Community: community,
+		Timeout:   500 * time.Millisecond,
+		Retries:   4,
+		node:      node,
+		dst:       dst,
+		port:      port,
+		sock:      node.OpenUDP(0),
+	}
+}
+
+// Inform sends one notification and blocks the proc until acknowledged or
+// the retry budget is exhausted.
+func (n *Notifier) Inform(p *sim.Proc, binds []VarBind) error {
+	n.reqID++
+	msg := &Message{Version: V2c, Community: n.Community}
+	msg.PDU = PDU{Type: InformRequest, RequestID: n.reqID, VarBinds: binds}
+	b := msg.Encode()
+	for attempt := 0; attempt <= n.Retries; attempt++ {
+		n.Stats.Sent++
+		n.sock.SendTo(n.dst, n.port, b)
+		deadline := p.Now() + n.Timeout
+		for {
+			remain := deadline - p.Now()
+			if remain <= 0 {
+				break
+			}
+			pkt, ok := n.sock.Recv(p, remain)
+			if !ok {
+				break
+			}
+			resp, err := Decode(pkt.Payload)
+			if err != nil || resp.PDU.Type != GetResponse || resp.PDU.RequestID != msg.PDU.RequestID {
+				continue
+			}
+			n.Stats.Acked++
+			return nil
+		}
+	}
+	n.Stats.Failed++
+	return ErrInformDropped
+}
+
+// InformAsync fires an inform from its own proc (non-blocking for the
+// caller); failures only show in Stats.
+func (n *Notifier) InformAsync(binds []VarBind) {
+	n.node.Spawn("inform", func(p *sim.Proc) {
+		n.Inform(p, binds)
+	})
+}
+
+// EventBind builds a conventional (sysUpTime, trapOID-style) bind list for
+// an enterprise-specific event.
+func EventBind(specific int, extra ...VarBind) []VarBind {
+	binds := []VarBind{
+		{OID: mib.Enterprise.Append(0, uint32(specific)), Value: mib.Int(int64(specific))},
+	}
+	return append(binds, extra...)
+}

@@ -1,0 +1,326 @@
+package snmp
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/mib"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+func TestMessageRoundTrip(t *testing.T) {
+	msg := &Message{
+		Version:   V2c,
+		Community: "public",
+		PDU: PDU{
+			Type:      GetRequest,
+			RequestID: 1234,
+			VarBinds: []VarBind{
+				{OID: mib.MustOID("1.3.6.1.2.1.1.1.0"), Value: mib.Null()},
+				{OID: mib.MustOID("1.3.6.1.2.1.1.3.0"), Value: mib.Null()},
+			},
+		},
+	}
+	got, err := Decode(msg.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != V2c || got.Community != "public" || got.PDU.Type != GetRequest ||
+		got.PDU.RequestID != 1234 || len(got.PDU.VarBinds) != 2 {
+		t.Fatalf("round trip: %+v", got)
+	}
+	if got.PDU.VarBinds[1].OID.String() != ".1.3.6.1.2.1.1.3.0" {
+		t.Fatalf("varbind OID: %s", got.PDU.VarBinds[1].OID)
+	}
+}
+
+func TestTrapV1RoundTrip(t *testing.T) {
+	msg := &Message{
+		Version:   V1,
+		Community: "public",
+		PDU: PDU{
+			Type:         TrapV1,
+			Enterprise:   mib.MustOID("1.3.6.1.4.1.5307"),
+			AgentAddr:    []byte{10, 1, 2, 3},
+			GenericTrap:  TrapEnterpriseSpecific,
+			SpecificTrap: 42,
+			Timestamp:    99,
+			VarBinds: []VarBind{
+				{OID: mib.MustOID("1.3.6.1.4.1.5307.1.0"), Value: mib.Counter(7)},
+			},
+		},
+	}
+	got, err := Decode(msg.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := got.PDU
+	if p.Type != TrapV1 || p.GenericTrap != TrapEnterpriseSpecific || p.SpecificTrap != 42 ||
+		p.Timestamp != 99 || p.Enterprise.String() != ".1.3.6.1.4.1.5307" {
+		t.Fatalf("trap round trip: %+v", p)
+	}
+	if len(p.AgentAddr) != 4 || p.AgentAddr[0] != 10 {
+		t.Fatalf("agent addr: %v", p.AgentAddr)
+	}
+}
+
+func TestPropertyMessageRoundTrip(t *testing.T) {
+	f := func(reqID int32, community string, oidTail []uint32, intVal int64) bool {
+		msg := &Message{
+			Version:   V2c,
+			Community: community,
+			PDU: PDU{
+				Type:      GetResponse,
+				RequestID: reqID,
+				VarBinds: []VarBind{
+					{OID: mib.OID(append([]uint32{1, 3}, oidTail...)), Value: mib.Int(intVal)},
+				},
+			},
+		}
+		got, err := Decode(msg.Encode())
+		if err != nil {
+			return false
+		}
+		return got.PDU.RequestID == reqID && got.Community == community &&
+			got.PDU.VarBinds[0].Value.Int == intVal
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeGarbage(t *testing.T) {
+	for _, b := range [][]byte{nil, {0x30}, {0x02, 0x01, 0x00}, {0x30, 0x02, 0x02, 0x01}} {
+		if _, err := Decode(b); err == nil {
+			t.Fatalf("decoded garbage % x", b)
+		}
+	}
+}
+
+// agentFixture builds a manager host and agent host on one LAN, with a
+// small MIB on the agent.
+func agentFixture(t testing.TB) (*sim.Kernel, *netsim.Network, *Client, *Agent, *netsim.Node) {
+	t.Helper()
+	k := sim.NewKernel()
+	t.Cleanup(k.Close)
+	nw := netsim.New(k, 21)
+	mgr := nw.NewHost("mgr")
+	ag := nw.NewHost("agent1")
+	seg := nw.NewSegment("lan", netsim.Ethernet10())
+	seg.Attach(mgr)
+	seg.Attach(ag)
+	view := mib.NewNodeView(ag)
+	agent := NewAgent(view.Tree, "public")
+	agent.ServeSim(ag, 0)
+	client := NewClient(mgr, "public")
+	return k, nw, client, agent, ag
+}
+
+func TestGetOverSimNetwork(t *testing.T) {
+	k, _, client, _, _ := agentFixture(t)
+	var binds []VarBind
+	var err error
+	client.Node().Spawn("tester", func(p *sim.Proc) {
+		binds, err = client.Get(p, "agent1", mib.MustOID("1.3.6.1.2.1.1.5.0"))
+	})
+	k.RunUntil(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(binds) != 1 || string(binds[0].Value.Str) != "agent1" {
+		t.Fatalf("binds = %+v", binds)
+	}
+}
+
+func TestGetUnknownOIDv2ReturnsNoSuchObject(t *testing.T) {
+	k, _, client, _, _ := agentFixture(t)
+	var binds []VarBind
+	var err error
+	client.Node().Spawn("tester", func(p *sim.Proc) {
+		binds, err = client.Get(p, "agent1", mib.MustOID("1.3.9.9.9.0"))
+	})
+	k.RunUntil(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if binds[0].Value.Kind != mib.KindNoSuchObject {
+		t.Fatalf("value = %+v", binds[0].Value)
+	}
+}
+
+func TestWalkSystemGroup(t *testing.T) {
+	k, _, client, _, _ := agentFixture(t)
+	var binds []VarBind
+	var err error
+	client.Node().Spawn("tester", func(p *sim.Proc) {
+		binds, err = client.Walk(p, "agent1", mib.System)
+	})
+	k.RunUntil(30 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(binds) != 7 {
+		t.Fatalf("system group walk returned %d objects, want 7", len(binds))
+	}
+}
+
+func TestBulkWalkMatchesWalk(t *testing.T) {
+	k, _, client, _, _ := agentFixture(t)
+	var w1, w2 []VarBind
+	client.Node().Spawn("tester", func(p *sim.Proc) {
+		w1, _ = client.Walk(p, "agent1", mib.Interfaces)
+		w2, _ = client.BulkWalk(p, "agent1", mib.Interfaces, 8)
+	})
+	k.RunUntil(60 * time.Second)
+	if len(w1) == 0 || len(w1) != len(w2) {
+		t.Fatalf("walk %d objects vs bulkwalk %d", len(w1), len(w2))
+	}
+	for i := range w1 {
+		if w1[i].OID.Cmp(w2[i].OID) != 0 {
+			t.Fatalf("walk/bulkwalk diverge at %d: %s vs %s", i, w1[i].OID, w2[i].OID)
+		}
+	}
+}
+
+func TestCommunityAuth(t *testing.T) {
+	k, _, _, agent, _ := agentFixture(t)
+	nw := agent // silence unused in older go versions
+	_ = nw
+	// A client with the wrong community gets silence, then times out.
+	k2, _, client, agent2, _ := agentFixture(t)
+	_ = k
+	client.Community = "wrong"
+	client.Timeout = 100 * time.Millisecond
+	client.Retries = 0
+	var err error
+	client.Node().Spawn("tester", func(p *sim.Proc) {
+		_, err = client.Get(p, "agent1", mib.SysUpTime)
+	})
+	k2.RunUntil(5 * time.Second)
+	if err != ErrTimeout {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if agent2.Stats.AuthFailures == 0 {
+		t.Fatal("agent did not count auth failure")
+	}
+}
+
+func TestSetReadOnly(t *testing.T) {
+	k, _, client, _, _ := agentFixture(t)
+	var err error
+	client.Node().Spawn("tester", func(p *sim.Proc) {
+		err = client.Set(p, "agent1", VarBind{OID: mib.SysDescr, Value: mib.Str("x")})
+	})
+	k.RunUntil(5 * time.Second)
+	if err == nil {
+		t.Fatal("set of read-only object succeeded")
+	}
+}
+
+func TestRequestRetry(t *testing.T) {
+	// Lossy LAN: the client should retry and usually succeed.
+	k := sim.NewKernel()
+	defer k.Close()
+	nw := netsim.New(k, 7)
+	mgr := nw.NewHost("mgr")
+	ag := nw.NewHost("agent1")
+	cfg := netsim.Ethernet10()
+	cfg.LossProb = 0.4
+	seg := nw.NewSegment("lan", cfg)
+	seg.Attach(mgr)
+	seg.Attach(ag)
+	agent := NewAgent(mib.NewNodeView(ag).Tree, "public")
+	agent.ServeSim(ag, 0)
+	client := NewClient(mgr, "public")
+	client.Timeout = 200 * time.Millisecond
+	client.Retries = 8
+	ok := 0
+	client.Node().Spawn("tester", func(p *sim.Proc) {
+		for i := 0; i < 20; i++ {
+			if _, err := client.Get(p, "agent1", mib.SysUpTime); err == nil {
+				ok++
+			}
+		}
+	})
+	k.RunUntil(120 * time.Second)
+	if ok < 18 {
+		t.Fatalf("only %d/20 gets succeeded with retries on lossy LAN", ok)
+	}
+	if client.Stats.Retries == 0 {
+		t.Fatal("no retries recorded on a 40% lossy LAN")
+	}
+}
+
+func TestTrapDelivery(t *testing.T) {
+	k, nw, _, agent, agNode := agentFixture(t)
+	station := nw.NewHost("station")
+	seg := agNode.Ifaces()[0].Medium().(*netsim.SharedSegment)
+	seg.Attach(station)
+	sink := StartTrapSink(station, 0, 100, time.Millisecond)
+	var gotSpecific int
+	sink.OnTrap = func(m *Message, from netsim.Addr) {
+		gotSpecific = m.PDU.SpecificTrap
+	}
+	agent.AddTrapDestSim(agNode, "station", 0)
+	k.After(time.Millisecond, func() {
+		agent.SendTrap(mib.Enterprise, mib.PseudoIP(agNode.Name), TrapEnterpriseSpecific, 17, nil)
+	})
+	k.RunUntil(time.Second)
+	if sink.Stats.Processed != 1 || gotSpecific != 17 {
+		t.Fatalf("sink = %+v, specific = %d", sink.Stats, gotSpecific)
+	}
+}
+
+func TestTrapSinkOverrun(t *testing.T) {
+	// Fire a large burst of traps at a slow station: the bounded ingest
+	// queue must drop some — the §5.2.4 SunNet Manager observation.
+	k := sim.NewKernel()
+	defer k.Close()
+	nw := netsim.New(k, 3)
+	station := nw.NewHost("station")
+	src := nw.NewHost("prober")
+	seg := nw.NewSegment("lan", netsim.Ethernet100())
+	seg.Attach(station)
+	seg.Attach(src)
+	sink := StartTrapSink(station, 0, 16, 5*time.Millisecond)
+	agent := NewAgent(mib.NewTree(), "public")
+	agent.AddTrapDestSim(src, "station", 0)
+	k.After(0, func() {
+		for i := 0; i < 500; i++ {
+			agent.SendTrap(mib.Enterprise, nil, TrapEnterpriseSpecific, i, nil)
+		}
+	})
+	k.RunUntil(30 * time.Second)
+	egress := src.Ifaces()[0].Counters.OutDiscards
+	total := sink.Stats.Processed + sink.Stats.Dropped + sink.SocketDrops() + egress
+	if sink.Stats.Dropped+sink.SocketDrops()+egress == 0 {
+		t.Fatalf("no overrun drops: %+v (socket %d, egress %d)", sink.Stats, sink.SocketDrops(), egress)
+	}
+	if total != 500 {
+		t.Fatalf("trap accounting: %d processed + %d dropped + %d sock + %d egress = %d, want 500",
+			sink.Stats.Processed, sink.Stats.Dropped, sink.SocketDrops(), egress, total)
+	}
+}
+
+func TestPollerPolls(t *testing.T) {
+	k, _, client, _, _ := agentFixture(t)
+	var results int
+	po := &Poller{
+		Client:   client,
+		Agent:    "agent1",
+		OIDs:     []mib.OID{mib.SysUpTime},
+		Interval: time.Second,
+		OnResult: func(binds []VarBind, err error) {
+			if err == nil {
+				results++
+			}
+		},
+	}
+	po.Run()
+	k.RunUntil(10500 * time.Millisecond)
+	if results < 10 {
+		t.Fatalf("poller produced %d results in 10.5s at 1s interval", results)
+	}
+}

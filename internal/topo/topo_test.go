@@ -1,0 +1,164 @@
+package topo
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+func TestHiPerDNodeCount(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Close()
+	h := BuildHiPerD(k, 1)
+	n := len(h.Net.Nodes())
+	// The paper's testbed is "composed of 30 workstations and servers".
+	if n != 30 {
+		t.Fatalf("HiPer-D has %d nodes, want 30", n)
+	}
+	if len(h.Servers) != 3 || len(h.Clients) != 9 {
+		t.Fatalf("pools: %d servers, %d clients", len(h.Servers), len(h.Clients))
+	}
+}
+
+func TestHiPerDPathList(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Close()
+	h := BuildHiPerD(k, 1)
+	paths := h.PathList()
+	if len(paths) != 27 {
+		t.Fatalf("path list = %d, want 27 (C*S)", len(paths))
+	}
+}
+
+// allPairsReachable sends one datagram over every server->client pair and
+// back, checking full-mesh connectivity through routers and the switch.
+func TestHiPerDFullConnectivity(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Close()
+	h := BuildHiPerD(k, 1)
+	sinks := make(map[netsim.Addr]*netsim.Sink)
+	all := append(append([]*netsim.Node{}, h.Servers...), h.Clients...)
+	all = append(all, h.Mgmt)
+	for _, n := range all {
+		sinks[n.Name] = netsim.NewSink(n, 9)
+	}
+	sent := 0
+	for _, from := range all {
+		sock := from.OpenUDP(0)
+		for _, to := range all {
+			if from == to {
+				continue
+			}
+			to := to
+			sock, from := sock, from
+			k.After(time.Duration(sent)*time.Millisecond, func() {
+				sock.SendSize(to.Name, 9, 100)
+				_ = from
+			})
+			sent++
+		}
+	}
+	k.Run()
+	total := 0
+	for _, s := range sinks {
+		total += s.Received
+	}
+	if total != sent {
+		for name, s := range sinks {
+			t.Logf("%s received %d", name, s.Received)
+		}
+		t.Fatalf("delivered %d of %d pairwise datagrams", total, sent)
+	}
+}
+
+func TestHiPerDManagementReachesAgents(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Close()
+	h := BuildHiPerD(k, 1)
+	// mgmt (Ethernet) -> s1 (FDDI) and back.
+	sink := netsim.NewSink(h.Servers[0], 9)
+	reply := netsim.NewSink(h.Mgmt, 9)
+	ms := h.Mgmt.OpenUDP(0)
+	ss := h.Servers[0].OpenUDP(0)
+	k.After(0, func() { ms.SendSize("s1", 9, 64) })
+	k.After(10*time.Millisecond, func() { ss.SendSize("mgmt", 9, 64) })
+	k.Run()
+	if sink.Received != 1 || reply.Received != 1 {
+		t.Fatalf("mgmt<->s1: %d / %d", sink.Received, reply.Received)
+	}
+}
+
+func TestScaledConnectivityAndSize(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Close()
+	s := BuildScaled(k, 1, 4, 5)
+	if len(s.Hosts) != 20 || len(s.Routers) != 4 {
+		t.Fatalf("scaled: %d hosts, %d routers", len(s.Hosts), len(s.Routers))
+	}
+	// Cross-LAN pair and mgmt->host.
+	sink := netsim.NewSink(s.Net.Node("h3-2"), 9)
+	src := s.Net.Node("h1-1").OpenUDP(0)
+	mg := s.Mgmt.OpenUDP(0)
+	k.After(0, func() { src.SendSize("h3-2", 9, 100) })
+	k.After(time.Millisecond, func() { mg.SendSize("h3-2", 9, 100) })
+	k.Run()
+	if sink.Received != 2 {
+		t.Fatalf("cross-LAN delivery: %d of 2", sink.Received)
+	}
+}
+
+func TestScaledToPaperSystemModel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large topology")
+	}
+	// §3: up to 10^2 networks and 10^3 computers. Build 100 networks of 10
+	// hosts and verify a far-corner exchange works.
+	k := sim.NewKernel()
+	defer k.Close()
+	s := BuildScaled(k, 1, 100, 10)
+	if len(s.Hosts) != 1000 {
+		t.Fatalf("hosts = %d", len(s.Hosts))
+	}
+	sink := netsim.NewSink(s.Net.Node("h100-10"), 9)
+	src := s.Net.Node("h1-1").OpenUDP(0)
+	k.After(0, func() { src.SendSize("h100-10", 9, 100) })
+	k.Run()
+	if sink.Received != 1 {
+		t.Fatal("corner-to-corner delivery failed at 10^3 hosts")
+	}
+}
+
+func TestTwoHosts(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Close()
+	_, a, b, seg := TwoHosts(k, 1)
+	sink := netsim.NewSink(b, 9)
+	sock := a.OpenUDP(0)
+	k.After(0, func() { sock.SendSize("b", 9, 10) })
+	k.Run()
+	if sink.Received != 1 || seg.Stats().Frames != 1 {
+		t.Fatal("two-host fixture broken")
+	}
+}
+
+func TestHiPerDDistinctNames(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Close()
+	h := BuildHiPerD(k, 1)
+	seen := map[netsim.Addr]bool{}
+	for _, n := range h.Net.Nodes() {
+		if seen[n.Name] {
+			t.Fatalf("duplicate node name %s", n.Name)
+		}
+		seen[n.Name] = true
+	}
+	for i, c := range h.Clients {
+		want := netsim.Addr(fmt.Sprintf("c%d", i+1))
+		if c.Name != want {
+			t.Fatalf("client %d named %s", i, c.Name)
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package vclock
+
+import (
+	"encoding/binary"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// NTPPort is the conventional port the simulated sync service listens on.
+const NTPPort netsim.Port = 123
+
+// ntpMsgSize mirrors a real NTP packet (48 bytes) so the intrusiveness
+// accounting of E4 is realistic.
+const ntpMsgSize = 48
+
+// encodeTimes packs two local timestamps into an NTP-sized payload.
+func encodeTimes(t1, t2 time.Duration) []byte {
+	buf := make([]byte, ntpMsgSize)
+	binary.BigEndian.PutUint64(buf[0:8], uint64(t1))
+	binary.BigEndian.PutUint64(buf[8:16], uint64(t2))
+	return buf
+}
+
+func decodeTimes(b []byte) (t1, t2 time.Duration) {
+	if len(b) < 16 {
+		return 0, 0
+	}
+	return time.Duration(binary.BigEndian.Uint64(b[0:8])),
+		time.Duration(binary.BigEndian.Uint64(b[8:16]))
+}
+
+// SyncServer answers time requests with the server host's local time.
+type SyncServer struct {
+	Node     *netsim.Node
+	Port     netsim.Port
+	Requests uint64
+}
+
+// StartSyncServer spawns the responder proc on n. The server answers with
+// n's local clock (set n.LocalClock before starting if the reference should
+// itself be imperfect).
+func StartSyncServer(n *netsim.Node, port netsim.Port) *SyncServer {
+	s := &SyncServer{Node: n, Port: port}
+	sock := n.OpenUDP(port)
+	n.Spawn("ntpd", func(p *sim.Proc) {
+		for {
+			pkt, ok := sock.Recv(p, -1)
+			if !ok {
+				return
+			}
+			s.Requests++
+			t1, _ := decodeTimes(pkt.Payload)
+			sock.SendTo(pkt.Src, pkt.SrcPort, encodeTimes(t1, n.LocalTime()))
+		}
+	})
+	return s
+}
+
+// SyncClient periodically samples a SyncServer and steps the local clock by
+// the best (minimum-RTT) offset estimate of each burst.
+type SyncClient struct {
+	Node   *netsim.Node
+	Clock  *Clock
+	Server netsim.Addr
+	Port   netsim.Port
+	// Poll is the interval between sync bursts.
+	Poll time.Duration
+	// Burst is the number of request/response samples per poll.
+	Burst int
+	// Timeout bounds the wait for each response.
+	Timeout time.Duration
+
+	// Traffic accounting for intrusiveness comparisons.
+	PacketsSent uint64
+	PacketsRecv uint64
+	BytesSent   uint64
+
+	// Discipline enables frequency correction: after each poll the client
+	// attributes the residual offset to rate error and cancels it, so the
+	// clock holds time between polls instead of re-accumulating drift.
+	Discipline bool
+
+	// Syncs counts completed adjustments; LastOffset is the most recent
+	// estimate applied.
+	Syncs      int
+	LastOffset time.Duration
+
+	lastSyncAt time.Duration
+}
+
+// Run spawns the client proc; it polls forever (bound the simulation with
+// RunUntil).
+func (c *SyncClient) Run() *sim.Proc {
+	if c.Port == 0 {
+		c.Port = NTPPort
+	}
+	if c.Burst <= 0 {
+		c.Burst = 4
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 500 * time.Millisecond
+	}
+	sock := c.Node.OpenUDP(0)
+	return c.Node.Spawn("ntp-client", func(p *sim.Proc) {
+		for {
+			c.syncOnce(p, sock)
+			p.Sleep(c.Poll)
+		}
+	})
+}
+
+// SyncOnce performs a single burst exchange and adjustment from an existing
+// proc; used by tests and by the hybrid monitor.
+func (c *SyncClient) SyncOnce(p *sim.Proc) {
+	if c.Port == 0 {
+		c.Port = NTPPort
+	}
+	if c.Burst <= 0 {
+		c.Burst = 4
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 500 * time.Millisecond
+	}
+	sock := c.Node.OpenUDP(0)
+	defer sock.Close()
+	c.syncOnce(p, sock)
+}
+
+func (c *SyncClient) syncOnce(p *sim.Proc, sock *netsim.UDPSock) {
+	var samples []Sample
+	for i := 0; i < c.Burst; i++ {
+		t1 := c.Node.LocalTime()
+		sock.SendTo(c.Server, c.Port, encodeTimes(t1, 0))
+		c.PacketsSent++
+		c.BytesSent += ntpMsgSize + netsim.HeaderOverhead
+		pkt, ok := sock.Recv(p, c.Timeout)
+		if !ok {
+			continue
+		}
+		c.PacketsRecv++
+		st1, t2 := decodeTimes(pkt.Payload)
+		t4 := c.Node.LocalTime()
+		samples = append(samples, Sample{
+			Offset: EstimateOffset(st1, t2, t4),
+			RTT:    t4 - st1,
+		})
+	}
+	if best, ok := BestSample(samples); ok {
+		now := p.Now()
+		if c.Discipline && c.Syncs > 0 && now > c.lastSyncAt {
+			// The offset re-accumulated since the last (stepped-to-zero)
+			// sync is pure rate error; cancel it going forward. Clamp the
+			// step to keep one noisy sample from destabilizing the loop.
+			rate := float64(best.Offset) / float64(now-c.lastSyncAt)
+			if rate > 500e-6 {
+				rate = 500e-6
+			} else if rate < -500e-6 {
+				rate = -500e-6
+			}
+			c.Clock.AdjustFreq(now, rate)
+		}
+		c.Clock.Adjust(best.Offset)
+		c.LastOffset = best.Offset
+		c.Syncs++
+		c.lastSyncAt = now
+	}
+}
