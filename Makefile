@@ -1,0 +1,30 @@
+# Tier-1 gate: `make ci` must stay green on every PR.
+GO ?= go
+
+.PHONY: ci vet build test race bench-smoke bench experiments
+
+ci: vet build test race bench-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration of every benchmark — catches bit-rot without the cost of a
+# full measurement run.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# Full measurement run; writes BENCH_kernel.json (see scripts/bench.sh).
+bench:
+	scripts/bench.sh
+
+experiments:
+	$(GO) run ./cmd/experiments

@@ -1,13 +1,17 @@
 // Command experiments regenerates the paper's evaluation tables (E1–E11 in
 // DESIGN.md). With no arguments it runs everything; pass experiment ids
 // (e.g. "E1 E5") to run a subset, -quick for shorter virtual runs, and
-// -markdown for EXPERIMENTS.md-ready output.
+// -markdown for EXPERIMENTS.md-ready output. Experiments run concurrently
+// (-j workers, one per CPU by default); each owns an independent simulation
+// kernel, so output is printed in experiment order and is byte-identical at
+// any worker count.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/experiments"
@@ -17,6 +21,7 @@ func main() {
 	quick := flag.Bool("quick", false, "shorter virtual runs")
 	markdown := flag.Bool("markdown", false, "emit markdown tables")
 	list := flag.Bool("list", false, "list experiments and exit")
+	workers := flag.Int("j", runtime.NumCPU(), "experiments to run concurrently")
 	flag.Parse()
 
 	all := experiments.All()
@@ -38,17 +43,15 @@ func main() {
 			selected = append(selected, e)
 		}
 	}
-	for i, e := range selected {
+	for i, r := range experiments.RunAll(selected, *quick, *workers) {
 		if i > 0 {
 			fmt.Println()
 		}
-		start := time.Now()
-		table := e.Run(*quick)
 		if *markdown {
-			fmt.Println(table.Markdown())
+			fmt.Println(r.Table.Markdown())
 		} else {
-			fmt.Print(table.String())
+			fmt.Print(r.Table.String())
 		}
-		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", e.ID, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", r.Experiment.ID, r.Elapsed.Round(time.Millisecond))
 	}
 }

@@ -42,10 +42,19 @@ func main() {
 		})
 		k.RunUntil(30 * time.Second)
 
-		hist := m.DB.History(paths[0].ID, metrics.Throughput, 0)
+		var first, newest time.Duration
+		samples := 0
+		m.DB.EachHistory(paths[0].ID, metrics.Throughput, 0, func(s core.Measurement) bool {
+			if samples == 0 {
+				first = s.TakenAt
+			}
+			newest = s.TakenAt
+			samples++
+			return true
+		})
 		var spacing time.Duration
-		if len(hist) > 1 {
-			spacing = (hist[len(hist)-1].TakenAt - hist[0].TakenAt) / time.Duration(len(hist)-1)
+		if samples > 1 {
+			spacing = (newest - first) / time.Duration(samples-1)
 		}
 		table.AddRow(conc, report.Bps(peak), report.Dur(m.SweepTime), report.Dur(spacing))
 		k.Close()

@@ -1,0 +1,25 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// BenchmarkRecord measures steady-state cost of Database.Record under
+// sustained load on a small working set of series.
+func BenchmarkRecord(b *testing.B) {
+	db := NewDatabase()
+	paths := []PathID{"a->b", "b->c", "c->d", "d->e"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db.Record(Measurement{
+			Path:    paths[i%len(paths)],
+			Metric:  metrics.Throughput,
+			Value:   float64(i),
+			TakenAt: time.Duration(i) * time.Microsecond,
+		})
+	}
+}

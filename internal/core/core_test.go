@@ -106,6 +106,77 @@ func TestComposeSegments(t *testing.T) {
 	}
 }
 
+func TestComposeSegmentsQualityAndSenescence(t *testing.T) {
+	// Fidelity propagation (§4.4): one approximate segment taints the whole
+	// path, and the path's TakenAt is the max (stalest-relevant) of its
+	// segments regardless of order.
+	cases := []struct {
+		name        string
+		metric      metrics.Metric
+		segs        []Measurement
+		wantQuality Quality
+		wantTakenAt time.Duration
+	}{
+		{
+			name:   "all direct stays direct, newest TakenAt wins",
+			metric: metrics.OneWayLatency,
+			segs: []Measurement{
+				{Metric: metrics.OneWayLatency, Value: 1, Quality: QualityDirect, TakenAt: 5 * time.Second},
+				{Metric: metrics.OneWayLatency, Value: 1, Quality: QualityDirect, TakenAt: 2 * time.Second},
+			},
+			wantQuality: QualityDirect,
+			wantTakenAt: 5 * time.Second,
+		},
+		{
+			name:   "approximate first segment taints path",
+			metric: metrics.Throughput,
+			segs: []Measurement{
+				{Metric: metrics.Throughput, Value: 1e6, Quality: QualityApproximate, TakenAt: time.Second},
+				{Metric: metrics.Throughput, Value: 2e6, Quality: QualityDirect, TakenAt: 3 * time.Second},
+			},
+			wantQuality: QualityApproximate,
+			wantTakenAt: 3 * time.Second,
+		},
+		{
+			name:   "approximate last segment taints path",
+			metric: metrics.Reachability,
+			segs: []Measurement{
+				{Metric: metrics.Reachability, Value: 1, Quality: QualityDirect, TakenAt: 4 * time.Second},
+				{Metric: metrics.Reachability, Value: 1, Quality: QualityApproximate, TakenAt: time.Second},
+			},
+			wantQuality: QualityApproximate,
+			wantTakenAt: 4 * time.Second,
+		},
+		{
+			name:   "single approximate segment",
+			metric: metrics.Throughput,
+			segs: []Measurement{
+				{Metric: metrics.Throughput, Value: 1e6, Quality: QualityApproximate, TakenAt: 7 * time.Second},
+			},
+			wantQuality: QualityApproximate,
+			wantTakenAt: 7 * time.Second,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out := ComposeSegments(tc.metric, tc.segs)
+			if !out.OK() {
+				t.Fatalf("composed measurement failed: %+v", out)
+			}
+			if out.Quality != tc.wantQuality {
+				t.Fatalf("Quality = %v, want %v", out.Quality, tc.wantQuality)
+			}
+			if out.TakenAt != tc.wantTakenAt {
+				t.Fatalf("TakenAt = %v, want %v", out.TakenAt, tc.wantTakenAt)
+			}
+		})
+	}
+
+	if out := ComposeSegments(metrics.Throughput, nil); out.OK() {
+		t.Fatal("empty segment list composed OK")
+	}
+}
+
 func TestDatabaseCurrentVsLastKnown(t *testing.T) {
 	db := NewDatabase()
 	p := PathID("a->b")
@@ -138,6 +209,100 @@ func TestDatabaseHistoryBounded(t *testing.T) {
 	}
 	if got := db.History(p, metrics.OneWayLatency, 2); len(got) != 2 || got[1].Value != 9 {
 		t.Fatalf("History(2) = %v", got)
+	}
+}
+
+func TestDatabaseHistoryContract(t *testing.T) {
+	// History returns nil — never an empty non-nil slice — when nothing
+	// would be returned, and trims to the newest n when n is in (0, count).
+	cases := []struct {
+		name    string
+		depth   int
+		records int
+		n       int
+		want    []float64 // expected Values, oldest first; nil means nil slice
+	}{
+		{"unknown series", 4, 0, 0, nil},
+		{"n=0 returns all retained", 4, 3, 0, []float64{0, 1, 2}},
+		{"negative n returns all retained", 4, 3, -1, []float64{0, 1, 2}},
+		{"n below count trims to newest", 4, 3, 2, []float64{1, 2}},
+		{"n equal to count", 4, 3, 3, []float64{0, 1, 2}},
+		{"n above count returns count", 4, 3, 10, []float64{0, 1, 2}},
+		{"exactly at depth", 4, 4, 0, []float64{0, 1, 2, 3}},
+		{"one past depth evicts oldest", 4, 5, 0, []float64{1, 2, 3, 4}},
+		{"ring wrapped twice", 4, 11, 0, []float64{7, 8, 9, 10}},
+		{"wrapped ring trimmed", 4, 11, 2, []float64{9, 10}},
+		{"depth one keeps newest only", 1, 6, 0, []float64{5}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			db := NewDatabase()
+			db.HistoryDepth = tc.depth
+			p := PathID("a->b")
+			for i := 0; i < tc.records; i++ {
+				db.Record(Measurement{Path: p, Metric: metrics.Throughput, Value: float64(i)})
+			}
+			got := db.History(p, metrics.Throughput, tc.n)
+			if tc.want == nil {
+				if got != nil {
+					t.Fatalf("History = %v, want nil", got)
+				}
+				return
+			}
+			if got == nil {
+				t.Fatalf("History = nil, want %v", tc.want)
+			}
+			if len(got) != len(tc.want) {
+				t.Fatalf("History len = %d, want %d", len(got), len(tc.want))
+			}
+			for i, v := range tc.want {
+				if got[i].Value != v {
+					t.Fatalf("History[%d].Value = %g, want %g (%v)", i, got[i].Value, v, got)
+				}
+			}
+		})
+	}
+}
+
+func TestDatabaseEachHistoryMatchesHistory(t *testing.T) {
+	db := NewDatabase()
+	db.HistoryDepth = 4
+	p := PathID("a->b")
+	for i := 0; i < 9; i++ {
+		db.Record(Measurement{Path: p, Metric: metrics.Throughput, Value: float64(i)})
+	}
+	for _, n := range []int{0, 1, 3, 4, 99} {
+		var walked []float64
+		db.EachHistory(p, metrics.Throughput, n, func(m Measurement) bool {
+			walked = append(walked, m.Value)
+			return true
+		})
+		copied := db.History(p, metrics.Throughput, n)
+		if len(walked) != len(copied) {
+			t.Fatalf("n=%d: EachHistory visited %d, History returned %d", n, len(walked), len(copied))
+		}
+		for i := range copied {
+			if walked[i] != copied[i].Value {
+				t.Fatalf("n=%d: walk diverged at %d: %v vs %v", n, i, walked, copied)
+			}
+		}
+	}
+	// Early stop.
+	visits := 0
+	db.EachHistory(p, metrics.Throughput, 0, func(Measurement) bool {
+		visits++
+		return false
+	})
+	if visits != 1 {
+		t.Fatalf("EachHistory ignored early stop: %d visits", visits)
+	}
+	// Unknown series visits nothing.
+	db.EachHistory("nope", metrics.Throughput, 0, func(Measurement) bool {
+		t.Fatal("visited sample of unknown series")
+		return false
+	})
+	if got := db.HistoryLen(p, metrics.Throughput); got != 4 {
+		t.Fatalf("HistoryLen = %d, want 4", got)
 	}
 }
 

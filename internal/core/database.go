@@ -15,11 +15,15 @@ type dbKey struct {
 	metric metrics.Metric
 }
 
+// dbSeries retains history in a fixed ring buffer sized once when the
+// series is created, so sustained recording never copies or reallocates.
 type dbSeries struct {
 	current   Measurement
 	lastKnown Measurement
 	hasLast   bool
-	history   []Measurement
+	ring      []Measurement // fixed capacity == history depth
+	head      int           // index of the oldest retained sample
+	count     int           // retained samples, <= len(ring)
 }
 
 // Database is the measurement store of Figure 2. It "enables both current
@@ -27,7 +31,9 @@ type dbSeries struct {
 // current value is the latest sample (which may be a failure), the last
 // known value is the latest successful sample.
 type Database struct {
-	// HistoryDepth bounds per-series history; zero means the default.
+	// HistoryDepth bounds per-series history; zero means the default. It is
+	// captured per series at that series' first Record, so set it before
+	// recording.
 	HistoryDepth int
 
 	series map[dbKey]*dbSeries
@@ -41,12 +47,17 @@ func NewDatabase() *Database {
 }
 
 // Record stores a measurement as the current value, updates last-known on
-// success, and appends to history.
+// success, and appends to history, evicting the oldest retained sample once
+// the series is at depth.
 func (db *Database) Record(m Measurement) {
 	key := dbKey{m.Path, m.Metric}
 	s := db.series[key]
 	if s == nil {
-		s = &dbSeries{}
+		depth := db.HistoryDepth
+		if depth <= 0 {
+			depth = DefaultHistoryDepth
+		}
+		s = &dbSeries{ring: make([]Measurement, depth)}
 		db.series[key] = s
 	}
 	s.current = m
@@ -54,13 +65,12 @@ func (db *Database) Record(m Measurement) {
 		s.lastKnown = m
 		s.hasLast = true
 	}
-	depth := db.HistoryDepth
-	if depth <= 0 {
-		depth = DefaultHistoryDepth
-	}
-	s.history = append(s.history, m)
-	if len(s.history) > depth {
-		s.history = s.history[len(s.history)-depth:]
+	if s.count < len(s.ring) {
+		s.ring[(s.head+s.count)%len(s.ring)] = m
+		s.count++
+	} else {
+		s.ring[s.head] = m
+		s.head = (s.head + 1) % len(s.ring)
 	}
 	db.Records++
 }
@@ -83,18 +93,59 @@ func (db *Database) LastKnown(path PathID, metric metrics.Metric) (Measurement, 
 	return s.lastKnown, true
 }
 
-// History returns up to n retained samples, oldest first; n <= 0 returns
-// all retained.
+// History returns a copy of up to n retained samples, oldest first; n <= 0
+// returns all retained. It returns nil — never an empty non-nil slice —
+// when the series is unknown or holds no samples. Internal consumers that
+// only scan should prefer EachHistory, which does not copy.
 func (db *Database) History(path PathID, metric metrics.Metric, n int) []Measurement {
 	s := db.series[dbKey{path, metric}]
-	if s == nil {
+	cnt := historyCount(s, n)
+	if cnt == 0 {
 		return nil
 	}
-	h := s.history
-	if n > 0 && len(h) > n {
-		h = h[len(h)-n:]
+	out := make([]Measurement, cnt)
+	start := s.head + s.count - cnt
+	for i := range out {
+		out[i] = s.ring[(start+i)%len(s.ring)]
 	}
-	return append([]Measurement(nil), h...)
+	return out
+}
+
+// EachHistory visits up to n retained samples (n <= 0 meaning all), oldest
+// first, without copying the series; it stops early when fn returns false.
+// The visited values are only valid during the call.
+func (db *Database) EachHistory(path PathID, metric metrics.Metric, n int, fn func(Measurement) bool) {
+	s := db.series[dbKey{path, metric}]
+	if cnt := historyCount(s, n); cnt > 0 {
+		s.each(cnt, fn)
+	}
+}
+
+// each visits the newest cnt retained samples oldest first, stopping early
+// when fn returns false. cnt must be in [1, s.count].
+func (s *dbSeries) each(cnt int, fn func(Measurement) bool) {
+	start := s.head + s.count - cnt
+	for i := 0; i < cnt; i++ {
+		if !fn(s.ring[(start+i)%len(s.ring)]) {
+			return
+		}
+	}
+}
+
+// HistoryLen reports how many samples the series currently retains.
+func (db *Database) HistoryLen(path PathID, metric metrics.Metric) int {
+	return historyCount(db.series[dbKey{path, metric}], 0)
+}
+
+// historyCount resolves the request size n against what s retains.
+func historyCount(s *dbSeries, n int) int {
+	if s == nil {
+		return 0
+	}
+	if n > 0 && n < s.count {
+		return n
+	}
+	return s.count
 }
 
 // Senescence returns the age of the current sample at time now — the

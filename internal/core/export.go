@@ -28,19 +28,25 @@ func (db *Database) ExportCSV(w io.Writer) error {
 		return err
 	}
 	for _, key := range keys {
-		for _, m := range db.series[key].history {
-			rec := []string{
-				string(m.Path),
-				m.Metric.String(),
-				fmt.Sprintf("%g", m.Value),
-				m.Metric.Unit(),
-				m.Quality.String(),
-				fmt.Sprintf("%.6f", m.TakenAt.Seconds()),
-				m.Err,
-			}
-			if err := cw.Write(rec); err != nil {
-				return err
-			}
+		s := db.series[key]
+		var werr error
+		if s.count > 0 {
+			s.each(s.count, func(m Measurement) bool {
+				rec := []string{
+					string(m.Path),
+					m.Metric.String(),
+					fmt.Sprintf("%g", m.Value),
+					m.Metric.Unit(),
+					m.Quality.String(),
+					fmt.Sprintf("%.6f", m.TakenAt.Seconds()),
+					m.Err,
+				}
+				werr = cw.Write(rec)
+				return werr == nil
+			})
+		}
+		if werr != nil {
+			return werr
 		}
 	}
 	cw.Flush()
@@ -76,13 +82,16 @@ func (db *Database) Summarize() []Summary {
 		s := db.series[key]
 		sum := Summary{Path: key.path, Metric: key.metric, Last: s.current}
 		var vals []float64
-		for _, m := range s.history {
-			sum.Samples++
-			if !m.OK() {
-				sum.Failures++
-				continue
-			}
-			vals = append(vals, m.Value)
+		if s.count > 0 {
+			s.each(s.count, func(m Measurement) bool {
+				sum.Samples++
+				if !m.OK() {
+					sum.Failures++
+					return true
+				}
+				vals = append(vals, m.Value)
+				return true
+			})
 		}
 		if len(vals) > 0 {
 			sum.Mean = metrics.Mean(vals)

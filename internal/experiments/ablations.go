@@ -136,11 +136,7 @@ func A2(quick bool) *report.Table {
 			lastF, lastE = f, e
 		})
 		k.RunUntil(horizon)
-		hist := m.DB.History(paths[0].ID, metrics.Throughput, 0)
-		var spacing time.Duration
-		if len(hist) > 1 {
-			spacing = (hist[len(hist)-1].TakenAt - hist[0].TakenAt) / time.Duration(len(hist)-1)
-		}
+		spacing := historySpacing(m.DB, paths[0].ID, metrics.Throughput)
 		t.AddRow(conc, report.Bps(peakF), report.Bps(peakE), report.Dur(m.SweepTime), report.Dur(spacing))
 		k.Close()
 	}

@@ -53,14 +53,15 @@ func E11(quick bool) *report.Table {
 				if p.Hops[1].Host != "c3" {
 					continue
 				}
-				for _, s := range m.DB.History(p.ID, metrics.Reachability, 0) {
+				m.DB.EachHistory(p.ID, metrics.Reachability, 0, func(s core.Measurement) bool {
 					if !s.Reached() && s.TakenAt > failAt {
 						if detected < 0 || s.TakenAt < detected {
 							detected = s.TakenAt
 						}
-						break
+						return false
 					}
-				}
+					return true
+				})
 			}
 			if detected >= 0 {
 				latencies = append(latencies, (detected - failAt).Seconds())

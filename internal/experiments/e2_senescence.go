@@ -42,11 +42,7 @@ func E2(quick bool) *report.Table {
 		m.Submit(core.Request{Paths: paths, Metrics: []metrics.Metric{metrics.Throughput}})
 		m.Start()
 		k.RunUntil(horizon)
-		hist := m.DB.History(paths[0].ID, metrics.Throughput, 0)
-		var spacing time.Duration
-		if len(hist) > 1 {
-			spacing = (hist[len(hist)-1].TakenAt - hist[0].TakenAt) / time.Duration(len(hist)-1)
-		}
+		spacing := historySpacing(m.DB, paths[0].ID, metrics.Throughput)
 		t.AddRow(mode.name, report.Dur(burstT), report.Dur(m.SweepTime),
 			report.Dur(spacing), report.Dur(27*burstT))
 		k.Close()

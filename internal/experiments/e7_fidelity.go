@@ -80,13 +80,14 @@ func E7(quick bool) *report.Table {
 		k.RunUntil(horizon)
 		meas, _ := mon.Query(path.ID, metrics.Throughput)
 		var worst float64
-		for _, m := range mon.DB.History(path.ID, metrics.Throughput, 0) {
+		mon.DB.EachHistory(path.ID, metrics.Throughput, 0, func(m core.Measurement) bool {
 			if m.OK() {
 				if e := metrics.RelErr(m.Value, appBps); e > worst {
 					worst = e
 				}
 			}
-		}
+			return true
+		})
 		t.AddRow("nttcp direct", "-", "-", report.Bps(meas.Value),
 			report.Pct(metrics.RelErr(meas.Value, appBps)), report.Pct(worst), meas.Quality)
 		k.Close()
@@ -105,14 +106,15 @@ func E7(quick bool) *report.Table {
 		// Average the post-warm-up estimates.
 		var vals []float64
 		var worst float64
-		for _, m := range mon.DB.History(path.ID, metrics.Throughput, 0) {
+		mon.DB.EachHistory(path.ID, metrics.Throughput, 0, func(m core.Measurement) bool {
 			if m.OK() {
 				vals = append(vals, m.Value)
 				if e := metrics.RelErr(m.Value, wireBps); e > worst {
 					worst = e
 				}
 			}
-		}
+			return true
+		})
 		mean := metrics.Mean(vals)
 		t.AddRow(v.name, report.Dur(v.poll), report.Dur(v.gran), report.Bps(mean),
 			report.Pct(metrics.RelErr(mean, wireBps)), report.Pct(worst), core.QualityApproximate)
@@ -134,14 +136,15 @@ func E7(quick bool) *report.Table {
 		k.RunUntil(horizon)
 		var vals []float64
 		var worst float64
-		for _, m := range mon.DB.History(path.ID, metrics.Throughput, 0) {
+		mon.DB.EachHistory(path.ID, metrics.Throughput, 0, func(m core.Measurement) bool {
 			if m.OK() && m.Value > 0 {
 				vals = append(vals, m.Value)
 				if e := metrics.RelErr(m.Value, wireBps); e > worst {
 					worst = e
 				}
 			}
-		}
+			return true
+		})
 		mean := metrics.Mean(vals)
 		t.AddRow("flow meter (passive, host-pair)", "5.00s", "-", report.Bps(mean),
 			report.Pct(metrics.RelErr(mean, wireBps)), report.Pct(worst), core.QualityApproximate)

@@ -6,8 +6,11 @@
 package experiments
 
 import (
+	"sync"
 	"time"
 
+	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/report"
 )
 
@@ -38,6 +41,48 @@ func All() []Experiment {
 	}
 }
 
+// Result pairs an experiment with its generated table and the wall-clock
+// time the run took.
+type Result struct {
+	Experiment Experiment
+	Table      *report.Table
+	Elapsed    time.Duration
+}
+
+// RunAll executes the given experiments across at most workers goroutines
+// (workers < 1 means serial) and returns the results in input order
+// regardless of completion order. Every experiment owns an independent
+// kernel seeded deterministically, so the tables are byte-identical to a
+// serial run at any worker count.
+func RunAll(exps []Experiment, quick bool, workers int) []Result {
+	results := make([]Result, len(exps))
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(exps) {
+		workers = len(exps)
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				start := time.Now()
+				table := exps[i].Run(quick)
+				results[i] = Result{Experiment: exps[i], Table: table, Elapsed: time.Since(start)}
+			}
+		}()
+	}
+	for i := range exps {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results
+}
+
 // ByID returns the experiment with the given id.
 func ByID(id string) (Experiment, bool) {
 	for _, e := range All() {
@@ -62,4 +107,24 @@ func pickN(quick bool, a, b int) int {
 		return a
 	}
 	return b
+}
+
+// historySpacing returns the mean inter-sample spacing of a series' retained
+// history — the senescence proxy of E2/A2 — scanning in place without
+// copying the series.
+func historySpacing(db *core.Database, path core.PathID, metric metrics.Metric) time.Duration {
+	var first, last time.Duration
+	n := 0
+	db.EachHistory(path, metric, 0, func(m core.Measurement) bool {
+		if n == 0 {
+			first = m.TakenAt
+		}
+		last = m.TakenAt
+		n++
+		return true
+	})
+	if n < 2 {
+		return 0
+	}
+	return (last - first) / time.Duration(n-1)
 }

@@ -31,6 +31,35 @@ func TestAllExperimentsRunQuick(t *testing.T) {
 	}
 }
 
+// TestRunAllParallelDeterminism checks that RunAll preserves input order and
+// produces byte-identical tables at any worker count: every experiment owns
+// an independent kernel, so concurrency must not perturb results.
+func TestRunAllParallelDeterminism(t *testing.T) {
+	var exps []Experiment
+	for _, id := range []string{"E4", "E8", "E9"} {
+		e, ok := ByID(id)
+		if !ok {
+			t.Fatalf("experiment %s missing", id)
+		}
+		exps = append(exps, e)
+	}
+	serial := RunAll(exps, true, 1)
+	parallel := RunAll(exps, true, 4)
+	if len(serial) != len(exps) || len(parallel) != len(exps) {
+		t.Fatalf("result counts = %d, %d, want %d", len(serial), len(parallel), len(exps))
+	}
+	for i := range exps {
+		if serial[i].Experiment.ID != exps[i].ID || parallel[i].Experiment.ID != exps[i].ID {
+			t.Fatalf("result %d out of order: %s / %s, want %s",
+				i, serial[i].Experiment.ID, parallel[i].Experiment.ID, exps[i].ID)
+		}
+		s, p := serial[i].Table.String(), parallel[i].Table.String()
+		if s != p {
+			t.Fatalf("%s diverged between serial and parallel runs:\n%s\nvs\n%s", exps[i].ID, s, p)
+		}
+	}
+}
+
 func TestByID(t *testing.T) {
 	if _, ok := ByID("E1"); !ok {
 		t.Fatal("E1 missing")

@@ -3,6 +3,7 @@ package nttcp
 import (
 	"fmt"
 	"net"
+	"sync/atomic"
 	"time"
 )
 
@@ -14,8 +15,12 @@ import (
 // RealServer is the responder over real UDP.
 type RealServer struct {
 	conn  *net.UDPConn
-	Tests int
+	tests atomic.Int64
 }
+
+// Tests reports how many burst measurements the server has completed. It is
+// safe to call while Serve runs on another goroutine.
+func (s *RealServer) Tests() int { return int(s.tests.Load()) }
 
 // ListenReal binds the responder to a real UDP address like ":5010".
 func ListenReal(addr string) (*RealServer, error) {
@@ -86,7 +91,7 @@ func (s *RealServer) Serve() error {
 				continue
 			}
 			delete(bursts, key)
-			s.Tests++
+			s.tests.Add(1)
 			span := b.lastAt - b.firstAt
 			var bps uint64
 			if span > 0 && b.received > 1 {

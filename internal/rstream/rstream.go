@@ -155,7 +155,7 @@ type Conn struct {
 	// send side
 	outstanding []sendItem
 	sendWaiters *sim.Queue[struct{}]
-	rtxTimer    *sim.Timer
+	rtxTimer    sim.Timer
 	rtoBackoff  int
 
 	// receive side
@@ -393,10 +393,8 @@ func (c *Conn) armRtx() {
 }
 
 func (c *Conn) stopRtx() {
-	if c.rtxTimer != nil {
-		c.rtxTimer.Stop()
-		c.rtxTimer = nil
-	}
+	c.rtxTimer.Stop()
+	c.rtxTimer = sim.Timer{}
 }
 
 func (c *Conn) onRtxTimeout() {
@@ -456,7 +454,7 @@ func (c *Conn) Send(p *sim.Proc, size int) error {
 		c.outstanding = append(c.outstanding, sendItem{seq: c.vars.SndNxt, dlen: uint32(chunk), sent: c.k().Now()})
 		c.vars.SndNxt += uint32(chunk)
 		c.sendSeg(seg, 0)
-		if c.rtxTimer == nil {
+		if !c.rtxTimer.Pending() {
 			c.armRtx()
 		}
 		size -= chunk

@@ -1,0 +1,105 @@
+package sim
+
+// eventQueue is an indexed 4-ary min-heap ordered by (at, seq). Each event
+// tracks its own position so cancellation removes it in O(log n) instead of
+// leaving a tombstone for the run loop to skip. A 4-ary layout halves the
+// tree depth of a binary heap and keeps sift-down children on one cache
+// line, which measurably speeds the pop-heavy dispatch loop.
+type eventQueue struct {
+	a []*event
+}
+
+func (q *eventQueue) len() int { return len(q.a) }
+
+func (q *eventQueue) less(i, j int) bool {
+	if q.a[i].at != q.a[j].at {
+		return q.a[i].at < q.a[j].at
+	}
+	return q.a[i].seq < q.a[j].seq
+}
+
+func (q *eventQueue) swap(i, j int) {
+	q.a[i], q.a[j] = q.a[j], q.a[i]
+	q.a[i].index = i
+	q.a[j].index = j
+}
+
+func (q *eventQueue) push(ev *event) {
+	ev.index = len(q.a)
+	q.a = append(q.a, ev)
+	q.up(ev.index)
+}
+
+// pop removes and returns the minimum event.
+func (q *eventQueue) pop() *event {
+	ev := q.a[0]
+	last := len(q.a) - 1
+	if last > 0 {
+		q.a[0] = q.a[last]
+		q.a[0].index = 0
+	}
+	q.a[last] = nil
+	q.a = q.a[:last]
+	if last > 1 {
+		q.down(0)
+	}
+	ev.index = -1
+	return ev
+}
+
+// remove deletes the event at position i.
+func (q *eventQueue) remove(i int) {
+	ev := q.a[i]
+	last := len(q.a) - 1
+	if i != last {
+		q.a[i] = q.a[last]
+		q.a[i].index = i
+	}
+	q.a[last] = nil
+	q.a = q.a[:last]
+	if i < last {
+		if !q.down(i) {
+			q.up(i)
+		}
+	}
+	ev.index = -1
+}
+
+func (q *eventQueue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !q.less(i, parent) {
+			break
+		}
+		q.swap(i, parent)
+		i = parent
+	}
+}
+
+// down sifts the event at i toward the leaves and reports whether it moved.
+func (q *eventQueue) down(i int) bool {
+	start := i
+	n := len(q.a)
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		min := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if q.less(c, min) {
+				min = c
+			}
+		}
+		if !q.less(min, i) {
+			break
+		}
+		q.swap(i, min)
+		i = min
+	}
+	return i > start
+}

@@ -10,10 +10,14 @@
 // Procs block on Proc.Sleep and on Queue operations; while a Proc runs, the
 // kernel waits, so at most one Proc executes at any instant. Time advances
 // only between events.
+//
+// The scheduler is allocation-free in steady state: fired and cancelled
+// events return to a free list and are recycled by later At/After/Every
+// calls, and the pending set is an indexed 4-ary heap so cancellation
+// removes the event immediately instead of leaving a tombstone.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
@@ -25,7 +29,8 @@ import (
 type Kernel struct {
 	now     time.Duration
 	seq     uint64
-	events  eventHeap
+	events  eventQueue
+	free    []*event // recycled events awaiting reuse
 	parked  chan struct{} // signalled when the running proc parks or ends
 	procs   map[*Proc]struct{}
 	running bool
@@ -52,54 +57,106 @@ func (k *Kernel) Rand(seed int64) *rand.Rand {
 	return rand.New(rand.NewSource(seed))
 }
 
-// Timer is a handle to a scheduled event that may be cancelled.
+// Timer is a handle to a scheduled event that may be cancelled. The zero
+// Timer is valid and refers to no event. Timers are values; copying one
+// copies the handle, not the event.
 type Timer struct {
-	ev *event
+	ev  *event
+	gen uint64
 }
 
-// Stop cancels the timer. It is a no-op if the event already fired.
-// It reports whether the call prevented the event from firing.
-func (t *Timer) Stop() bool {
-	if t == nil || t.ev == nil || t.ev.cancelled || t.ev.fired {
+// Stop cancels the timer. For a periodic (Every) timer it may be called
+// from inside the tick callback to stop further ticks. It reports whether
+// the call prevented a (further) firing; stopping an already-fired one-shot
+// timer or an already-stopped timer reports false.
+func (t Timer) Stop() bool {
+	ev := t.ev
+	if ev == nil || ev.gen != t.gen {
 		return false
 	}
-	t.ev.cancelled = true
-	return true
+	if ev.index >= 0 {
+		ev.k.events.remove(ev.index)
+		ev.k.release(ev)
+		return true
+	}
+	// index < 0 with a matching generation means the event is mid-fire.
+	// One-shot events are recycled (generation bumped) before their
+	// callback runs, so this is a periodic event ticking right now:
+	// clearing the period stops the reschedule.
+	if ev.period > 0 {
+		ev.period = 0
+		return true
+	}
+	return false
+}
+
+// Pending reports whether the timer is still scheduled to fire: queued in
+// the event heap, or a periodic timer currently ticking that will
+// reschedule itself.
+func (t Timer) Pending() bool {
+	ev := t.ev
+	if ev == nil || ev.gen != t.gen {
+		return false
+	}
+	return ev.index >= 0 || ev.period > 0
 }
 
 // At schedules fn to run at absolute virtual time at. Times in the past run
 // at the current time (events never fire retroactively).
-func (k *Kernel) At(at time.Duration, fn func()) *Timer {
-	if at < k.now {
-		at = k.now
-	}
-	k.seq++
-	ev := &event{at: at, seq: k.seq, fn: fn}
-	heap.Push(&k.events, ev)
-	return &Timer{ev: ev}
+func (k *Kernel) At(at time.Duration, fn func()) Timer {
+	return k.schedule(at, 0, fn)
 }
 
 // After schedules fn to run d from now.
-func (k *Kernel) After(d time.Duration, fn func()) *Timer {
-	return k.At(k.now+d, fn)
+func (k *Kernel) After(d time.Duration, fn func()) Timer {
+	return k.schedule(k.now+d, 0, fn)
 }
 
 // Every schedules fn to run every period, starting one period from now,
-// until the returned Timer is stopped. fn observes the tick time via Now.
-func (k *Kernel) Every(period time.Duration, fn func()) *Timer {
+// until the returned Timer is stopped (from outside or from within fn
+// itself). fn observes the tick time via Now. The tick event is reused
+// across firings, so a steady Every costs no allocation per tick.
+func (k *Kernel) Every(period time.Duration, fn func()) Timer {
 	if period <= 0 {
 		panic("sim: Every period must be positive")
 	}
-	t := &Timer{}
-	var tick func()
-	tick = func() {
-		fn()
-		if !t.ev.cancelled {
-			t.ev = k.After(period, tick).ev
-		}
+	return k.schedule(k.now+period, period, fn)
+}
+
+// schedule inserts a pooled event into the heap and returns its handle.
+func (k *Kernel) schedule(at, period time.Duration, fn func()) Timer {
+	if at < k.now {
+		at = k.now
 	}
-	t.ev = k.After(period, tick).ev
-	return t
+	ev := k.alloc()
+	k.seq++
+	ev.at = at
+	ev.seq = k.seq
+	ev.fn = fn
+	ev.period = period
+	k.events.push(ev)
+	return Timer{ev: ev, gen: ev.gen}
+}
+
+// alloc takes an event from the free list, or makes one when the list is
+// empty.
+func (k *Kernel) alloc() *event {
+	if n := len(k.free); n > 0 {
+		ev := k.free[n-1]
+		k.free = k.free[:n-1]
+		return ev
+	}
+	return &event{k: k, index: -1}
+}
+
+// release recycles an event: bumping the generation invalidates every Timer
+// handle that still points at it.
+func (k *Kernel) release(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	ev.period = 0
+	ev.index = -1
+	k.free = append(k.free, ev)
 }
 
 // Spawn creates a new simulated process that begins executing fn at the
@@ -113,6 +170,7 @@ func (k *Kernel) Spawn(name string, fn func(*Proc)) *Proc {
 		name = fmt.Sprintf("proc-%d", k.nprocs)
 	}
 	p := &Proc{k: k, name: name, resume: make(chan struct{})}
+	p.resumeFn = func() { k.resumeProc(p) }
 	k.procs[p] = struct{}{}
 	go func() {
 		<-p.resume
@@ -130,7 +188,7 @@ func (k *Kernel) Spawn(name string, fn func(*Proc)) *Proc {
 		delete(k.procs, p)
 		k.parked <- struct{}{}
 	}()
-	k.At(k.now, func() { k.resumeProc(p) })
+	k.At(k.now, p.resumeFn)
 	return p
 }
 
@@ -168,34 +226,41 @@ func (k *Kernel) run(deadline time.Duration) int {
 	k.running = true
 	defer func() { k.running = false }()
 	n := 0
-	for k.events.Len() > 0 {
-		ev := k.events[0]
-		if ev.cancelled {
-			heap.Pop(&k.events)
-			continue
-		}
+	for k.events.len() > 0 {
+		ev := k.events.a[0]
 		if deadline >= 0 && ev.at > deadline {
 			break
 		}
-		heap.Pop(&k.events)
+		k.events.pop()
 		k.now = ev.at
-		ev.fired = true
-		ev.fn()
+		if ev.period > 0 {
+			// Periodic: keep the event alive across the callback so a
+			// mid-tick Stop can clear the period, then reschedule.
+			ev.fn()
+			if ev.period > 0 {
+				ev.at += ev.period
+				k.seq++
+				ev.seq = k.seq
+				k.events.push(ev)
+			} else {
+				k.release(ev)
+			}
+		} else {
+			// One-shot: recycle before the callback so that the event is
+			// immediately reusable and stale Timer handles go dead.
+			fn := ev.fn
+			k.release(ev)
+			fn()
+		}
 		n++
 	}
 	return n
 }
 
-// Steps reports how many events are currently pending (cancelled events
-// still in the heap are not counted).
+// Steps reports how many events are currently pending. Cancelled events are
+// removed from the heap eagerly, so this is O(1).
 func (k *Kernel) Steps() int {
-	n := 0
-	for _, ev := range k.events {
-		if !ev.cancelled {
-			n++
-		}
-	}
-	return n
+	return k.events.len()
 }
 
 // Close terminates all parked procs and releases their goroutines. The
@@ -212,30 +277,15 @@ func (k *Kernel) Close() {
 	}
 }
 
+// event is a pooled heap node. A fired or cancelled event returns to the
+// kernel's free list; gen distinguishes the current incarnation from stale
+// Timer handles created for earlier ones.
 type event struct {
-	at        time.Duration
-	seq       uint64
-	fn        func()
-	cancelled bool
-	fired     bool
-}
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+	k      *Kernel
+	at     time.Duration
+	seq    uint64
+	fn     func()
+	index  int           // position in the heap, -1 when not queued
+	gen    uint64        // incremented each time the event is recycled
+	period time.Duration // >0 marks a periodic (Every) event
 }

@@ -98,6 +98,124 @@ func TestEvery(t *testing.T) {
 	}
 }
 
+func TestEverySelfStop(t *testing.T) {
+	// Regression: stopping an Every timer from inside its own tick used to
+	// return false (the firing event was marked fired) and the timer kept
+	// rescheduling forever.
+	k := NewKernel()
+	ticks := 0
+	var tm Timer
+	tm = k.Every(time.Second, func() {
+		ticks++
+		if ticks == 3 {
+			if !tm.Stop() {
+				t.Error("Stop() = false from inside tick")
+			}
+		}
+	})
+	k.Run()
+	if ticks != 3 {
+		t.Fatalf("ticks = %d, want 3 (timer kept firing after self-stop)", ticks)
+	}
+	if k.Steps() != 0 {
+		t.Fatalf("Steps() = %d after self-stop, want 0", k.Steps())
+	}
+	if tm.Stop() {
+		t.Fatal("Stop() = true on already-stopped Every timer")
+	}
+}
+
+func TestEveryStopBetweenTicks(t *testing.T) {
+	k := NewKernel()
+	ticks := 0
+	tm := k.Every(100*time.Millisecond, func() { ticks++ })
+	k.RunUntil(250 * time.Millisecond)
+	if !tm.Stop() {
+		t.Fatal("Stop() = false on pending Every timer")
+	}
+	k.Run()
+	if ticks != 2 {
+		t.Fatalf("ticks = %d, want 2", ticks)
+	}
+}
+
+func TestOneShotSelfStopReportsFalse(t *testing.T) {
+	k := NewKernel()
+	var tm Timer
+	stopped := true
+	tm = k.After(time.Second, func() { stopped = tm.Stop() })
+	k.Run()
+	if stopped {
+		t.Fatal("Stop() from inside the firing callback reported true")
+	}
+}
+
+func TestTimerStaleHandleAfterReuse(t *testing.T) {
+	// A Timer held across its event's firing must not cancel the recycled
+	// event that a later At call reuses.
+	k := NewKernel()
+	first := k.After(time.Second, func() {})
+	k.Run()
+	secondFired := false
+	k.After(time.Second, func() { secondFired = true })
+	if first.Stop() {
+		t.Fatal("stale Stop() = true")
+	}
+	if first.Pending() {
+		t.Fatal("stale Pending() = true")
+	}
+	k.Run()
+	if !secondFired {
+		t.Fatal("stale Stop cancelled a recycled event")
+	}
+}
+
+func TestTimerPending(t *testing.T) {
+	k := NewKernel()
+	var zero Timer
+	if zero.Pending() {
+		t.Fatal("zero Timer pending")
+	}
+	tm := k.After(time.Second, func() {})
+	if !tm.Pending() {
+		t.Fatal("scheduled timer not pending")
+	}
+	tm.Stop()
+	if tm.Pending() {
+		t.Fatal("stopped timer still pending")
+	}
+	ev := k.Every(time.Second, func() {})
+	k.RunUntil(2500 * time.Millisecond)
+	if !ev.Pending() {
+		t.Fatal("live Every timer not pending between ticks")
+	}
+	ev.Stop()
+	if ev.Pending() {
+		t.Fatal("stopped Every timer still pending")
+	}
+}
+
+func TestStopRemovesFromHeapImmediately(t *testing.T) {
+	// Cancelled events leave the heap at Stop time, so Steps drops at once
+	// and the dispatch loop never sees tombstones.
+	k := NewKernel()
+	timers := make([]Timer, 100)
+	for i := range timers {
+		timers[i] = k.After(time.Duration(i+1)*time.Millisecond, func() {})
+	}
+	for _, tm := range timers[:50] {
+		if !tm.Stop() {
+			t.Fatal("Stop() = false on pending timer")
+		}
+	}
+	if k.Steps() != 50 {
+		t.Fatalf("Steps() = %d after stopping half, want 50", k.Steps())
+	}
+	if n := k.Run(); n != 50 {
+		t.Fatalf("Run() processed %d, want 50", n)
+	}
+}
+
 func TestProcSleep(t *testing.T) {
 	k := NewKernel()
 	var wake time.Duration

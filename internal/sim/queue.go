@@ -20,7 +20,7 @@ type qwaiter[T any] struct {
 	item  T
 	ok    bool
 	fired bool
-	timer *Timer
+	timer Timer
 }
 
 // NewQueue returns a queue with the given capacity; capacity 0 means
@@ -45,10 +45,8 @@ func (q *Queue[T]) Put(item T) bool {
 		w.item = item
 		w.ok = true
 		w.fired = true
-		if w.timer != nil {
-			w.timer.Stop()
-		}
-		q.k.At(q.k.now, func() { q.k.resumeProc(w.p) })
+		w.timer.Stop()
+		q.k.At(q.k.now, w.p.resumeFn)
 		return true
 	}
 	if q.cap > 0 && len(q.items) >= q.cap {

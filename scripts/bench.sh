@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# bench.sh — run the kernel/database micro-benchmarks and the experiment
+# suite, writing machine-readable results to BENCH_kernel.json so the perf
+# trajectory is tracked across PRs.
+#
+# Usage: scripts/bench.sh [output.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_kernel.json}"
+benchtime="${BENCHTIME:-1s}"
+
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+echo "== micro-benchmarks (benchtime=$benchtime) ==" >&2
+go test -run '^$' -bench 'BenchmarkSchedule$|BenchmarkEventDispatch$|BenchmarkProcSwitch$|BenchmarkEvery$|BenchmarkQueuePutGet$' \
+    -benchmem -benchtime "$benchtime" ./internal/sim/ | tee -a "$raw" >&2
+go test -run '^$' -bench 'BenchmarkRecord$' \
+    -benchmem -benchtime "$benchtime" ./internal/core/ | tee -a "$raw" >&2
+
+echo "== experiment suite wall-clock (quick) ==" >&2
+go build -o /tmp/bench_experiments ./cmd/experiments
+
+wallclock() { # wallclock <workers> -> seconds
+    local t0 t1
+    t0=$(date +%s%N)
+    /tmp/bench_experiments -quick -j "$1" >/dev/null 2>&1
+    t1=$(date +%s%N)
+    awk -v a="$t0" -v b="$t1" 'BEGIN { printf("%.3f", (b-a)/1e9) }'
+}
+serial_s=$(wallclock 1)
+ncpu=$(go env GOMAXPROCS 2>/dev/null || echo 1)
+[ "$ncpu" -ge 1 ] 2>/dev/null || ncpu=$(getconf _NPROCESSORS_ONLN)
+parallel_s=$(wallclock "$ncpu")
+echo "experiments -quick: serial ${serial_s}s, -j ${ncpu} ${parallel_s}s" >&2
+
+{
+    printf '{\n'
+    printf '  "date": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+    printf '  "go": "%s",\n' "$(go env GOVERSION)"
+    printf '  "cpus": %s,\n' "$ncpu"
+    printf '  "experiments_quick_serial_s": %s,\n' "$serial_s"
+    printf '  "experiments_quick_parallel_s": %s,\n' "$parallel_s"
+    printf '  "benchmarks": [\n'
+    awk '
+        /^Benchmark/ {
+            name = $1; sub(/-[0-9]+$/, "", name)
+            if (n++) printf(",\n")
+            printf("    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
+                   name, $2, $3, $5, $7)
+        }
+        END { printf("\n") }
+    ' "$raw"
+    printf '  ]\n}\n'
+} > "$out"
+echo "wrote $out" >&2
