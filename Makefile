@@ -1,9 +1,9 @@
 # Tier-1 gate: `make ci` must stay green on every PR.
 GO ?= go
 
-.PHONY: ci vet build test race bench-smoke bench experiments
+.PHONY: ci vet build test race analyze fuzz-smoke bench-smoke bench experiments
 
-ci: vet build test race bench-smoke
+ci: vet build test race analyze fuzz-smoke bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -16,6 +16,17 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Project-specific static analysis: simulation determinism, BER/SNMP error
+# discipline, timer leaks, locks held across yield points (see DESIGN.md §8).
+analyze:
+	$(GO) run ./cmd/analyze ./...
+
+# A few seconds of coverage-guided fuzzing per codec target — enough to
+# exercise the checked-in corpora plus a short exploration burst.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzBERRoundTrip$$' -fuzztime 3s ./internal/asn1ber
+	$(GO) test -run '^$$' -fuzz '^FuzzMessageRoundTrip$$' -fuzztime 3s ./internal/snmp
 
 # One iteration of every benchmark — catches bit-rot without the cost of a
 # full measurement run.

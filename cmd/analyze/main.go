@@ -1,0 +1,91 @@
+// Command analyze runs the repository's custom static-analysis suite — the
+// multichecker over internal/analysis passes — and exits non-zero when any
+// finding survives the allowlist. `make analyze` runs it over ./... and
+// `make ci` gates on it.
+//
+// Usage:
+//
+//	analyze [-run name,name] [-list] [packages]
+//
+// With no packages, ./... is analyzed. -run restricts the suite to a
+// comma-separated subset of analyzer names; -list prints the suite.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/berencheck"
+	"repro/internal/analysis/locksafe"
+	"repro/internal/analysis/simdeterminism"
+	"repro/internal/analysis/timerstop"
+)
+
+// suite is every registered pass, in report order.
+var suite = []*analysis.Analyzer{
+	simdeterminism.Analyzer,
+	berencheck.Analyzer,
+	timerstop.Analyzer,
+	locksafe.Analyzer,
+}
+
+func main() {
+	runList := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-16s %s\n", a.Name, firstLine(a.Doc))
+		}
+		return
+	}
+
+	analyzers := suite
+	if *runList != "" {
+		byName := make(map[string]*analysis.Analyzer, len(suite))
+		for _, a := range suite {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*runList, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "analyze: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "analyze:", err)
+		os.Exit(2)
+	}
+	pkgs, fset, err := analysis.Load(cwd, flag.Args()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "analyze:", err)
+		os.Exit(2)
+	}
+	diags, err := analysis.Run(pkgs, fset, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "analyze:", err)
+		os.Exit(2)
+	}
+	analysis.Print(os.Stdout, fset, diags)
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "analyze: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

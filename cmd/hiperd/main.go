@@ -109,7 +109,7 @@ func main() {
 	})
 	// Timeline for the end-of-run figure.
 	timeline := report.Series{Name: "fresh clients"}
-	k.Every(time.Second, func() {
+	timelineTick := k.Every(time.Second, func() {
 		fresh := 0.0
 		for _, c := range clients {
 			if c.Staleness(k.Now()) < 500*time.Millisecond {
@@ -119,7 +119,7 @@ func main() {
 		timeline.Points = append(timeline.Points, report.Point{X: k.Now(), Y: fresh})
 	})
 	// Periodic status.
-	k.Every(5*time.Second, func() {
+	statusTick := k.Every(5*time.Second, func() {
 		fresh := 0
 		for name, c := range clients {
 			if c.Staleness(k.Now()) < 500*time.Millisecond {
@@ -134,6 +134,8 @@ func main() {
 		say("status: %d/9 clients with fresh track data; %d engagements logged", fresh, engagements)
 	})
 	k.RunUntil(*duration)
+	timelineTick.Stop()
+	statusTick.Stop()
 
 	fmt.Println("\n--- final state ---")
 	for _, pl := range mgr.Placements() {

@@ -70,7 +70,7 @@ func main() {
 	// Survivability metric: fraction of (client, second) samples with a
 	// fresh track picture.
 	samples, fresh := 0, 0
-	k.Every(time.Second, func() {
+	sampler := k.Every(time.Second, func() {
 		for _, c := range clients {
 			samples++
 			if c.Staleness(k.Now()) < 500*time.Millisecond {
@@ -79,6 +79,7 @@ func main() {
 		}
 	})
 	k.RunUntil(2 * time.Minute)
+	sampler.Stop()
 
 	fmt.Println("\n--- drill report ---")
 	for _, e := range sched.Log {

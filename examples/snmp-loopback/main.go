@@ -35,7 +35,8 @@ func main() {
 	agent := snmp.NewAgent(tree, "public")
 	agentConn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
 	must(err)
-	go agent.ServeUDP(agentConn)
+	// The serve loop runs until the socket closes at process exit.
+	go agent.ServeUDP(agentConn) //lint:allow droperr serve loop ends with the socket
 	addr := agentConn.LocalAddr().String()
 	fmt.Println("agent on", addr)
 
@@ -43,7 +44,7 @@ func main() {
 	trapConn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
 	must(err)
 	trapGot := make(chan *snmp.Message, 1)
-	go snmp.ListenTraps(trapConn, func(m *snmp.Message, _ *net.UDPAddr) { trapGot <- m })
+	go snmp.ListenTraps(trapConn, func(m *snmp.Message, _ *net.UDPAddr) { trapGot <- m }) //lint:allow droperr listener ends with the socket
 
 	// Manager: walk the whole MIB.
 	c := snmp.NewRealClient("public")
@@ -64,9 +65,9 @@ func main() {
 		v := int64(got[0].Value.Uint)
 		fmt.Printf("  poll %d: counter = %d\n", i+1, v)
 		if v >= 2 {
-			agent.SendTrapUDP(trapConn.LocalAddr().String(), mib.Enterprise, []byte{127, 0, 0, 1},
+			must(agent.SendTrapUDP(trapConn.LocalAddr().String(), mib.Enterprise, []byte{127, 0, 0, 1},
 				snmp.TrapEnterpriseSpecific, 1,
-				[]snmp.VarBind{{OID: mib.Enterprise.Append(1, 0), Value: mib.Counter(uint64(v))}})
+				[]snmp.VarBind{{OID: mib.Enterprise.Append(1, 0), Value: mib.Counter(uint64(v))}}))
 			break
 		}
 	}

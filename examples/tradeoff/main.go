@@ -33,7 +33,7 @@ func main() {
 
 		var peak float64
 		last := h.FDDI.Stats().Octets
-		k.Every(100*time.Millisecond, func() {
+		sampler := k.Every(100*time.Millisecond, func() {
 			cur := h.FDDI.Stats().Octets
 			if bps := float64(cur-last) * 8 / 0.1; bps > peak {
 				peak = bps
@@ -41,6 +41,7 @@ func main() {
 			last = cur
 		})
 		k.RunUntil(30 * time.Second)
+		sampler.Stop()
 
 		var first, newest time.Duration
 		samples := 0

@@ -1,0 +1,117 @@
+// Package analysis is a self-contained static-analysis framework modeled on
+// golang.org/x/tools/go/analysis, built only on the standard library so the
+// repository carries no external dependencies. It provides the Analyzer /
+// Pass / Diagnostic vocabulary, a package loader that type-checks the module
+// offline using the toolchain's export data (see load.go), and a driver that
+// runs a suite of analyzers over loaded packages (see run.go).
+//
+// The project-specific passes live in subpackages (simdeterminism,
+// berencheck, timerstop, locksafe) and are wired together by cmd/analyze,
+// which `make analyze` and `make ci` run over the whole repository.
+//
+// # Suppressing a finding
+//
+// Every analyzer honours a line-scoped allowlist comment:
+//
+//	//lint:allow <key> [reason]
+//
+// placed either on the flagged line or on the line directly above it. Keys
+// are per-analyzer ("wallclock", "globalrand", "droperr", "leaktimer",
+// "lockyield"); the reason text is free-form but strongly encouraged. The
+// simdeterminism pass additionally exempts whole real-network files by
+// basename: real.go and *_real.go are never simulation-driven.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// Analyzer describes one static-analysis pass.
+type Analyzer struct {
+	// Name identifies the pass in diagnostics and -run filters. It must be
+	// a valid Go identifier.
+	Name string
+	// Doc is the help text: first line is a one-line summary.
+	Doc string
+	// Run applies the pass to one package and reports findings via
+	// pass.Report / pass.Reportf.
+	Run func(*Pass) error
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// Pass provides one analyzer run with a single type-checked package and a
+// sink for its diagnostics. Analyzers must not retain the Pass after Run
+// returns.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one finding. The driver fills it in.
+	Report func(Diagnostic)
+
+	// allow maps "file:line" to the set of allow keys active on that line
+	// (from the line itself or the line above). Built lazily.
+	allow map[string]map[string]bool
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Reportf reports a formatted finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// Filename returns the basename of the file containing pos.
+func (p *Pass) Filename(pos token.Pos) string {
+	return filepath.Base(p.Fset.Position(pos).Filename)
+}
+
+// Allowed reports whether a `//lint:allow <key>` comment covers pos: the
+// comment may sit on the same line as the flagged code or on the line
+// directly above it.
+func (p *Pass) Allowed(pos token.Pos, key string) bool {
+	if p.allow == nil {
+		p.allow = make(map[string]map[string]bool)
+		for _, f := range p.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimPrefix(c.Text, "//")
+					text = strings.TrimSpace(text)
+					if !strings.HasPrefix(text, "lint:allow") {
+						continue
+					}
+					fields := strings.Fields(strings.TrimPrefix(text, "lint:allow"))
+					if len(fields) == 0 {
+						continue
+					}
+					cp := p.Fset.Position(c.Pos())
+					// The comment covers its own line and the next one, so
+					// both trailing and preceding placements work.
+					for _, line := range []int{cp.Line, cp.Line + 1} {
+						k := fmt.Sprintf("%s:%d", cp.Filename, line)
+						if p.allow[k] == nil {
+							p.allow[k] = make(map[string]bool)
+						}
+						p.allow[k][fields[0]] = true
+					}
+				}
+			}
+		}
+	}
+	pp := p.Fset.Position(pos)
+	return p.allow[fmt.Sprintf("%s:%d", pp.Filename, pp.Line)][key]
+}

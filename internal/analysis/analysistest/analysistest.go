@@ -1,0 +1,199 @@
+// Package analysistest runs an analysis.Analyzer over small fixture
+// packages and checks its diagnostics against expectations embedded in the
+// fixtures, in the style of golang.org/x/tools/go/analysis/analysistest.
+//
+// Fixtures use a GOPATH-style layout under the analyzer's testdata
+// directory: testdata/src/<pkg>/*.go. Imports between fixture packages
+// resolve within testdata/src; standard-library imports resolve against the
+// real toolchain's export data. Expected findings are marked with trailing
+// comments:
+//
+//	k.Every(period, fn) // want `discarded`
+//
+// where each backquoted or quoted string is a regular expression that must
+// match a diagnostic reported on that line. Every diagnostic must be
+// expected and every expectation must be matched, or the test fails.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// Run loads each fixture package from dir (typically "testdata") and applies
+// the analyzer, comparing diagnostics against the package's want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	l := &loader{
+		src:     filepath.Join(dir, "src"),
+		fset:    token.NewFileSet(),
+		checked: make(map[string]*fixturePkg),
+	}
+	for _, pkg := range pkgs {
+		fp, err := l.load(pkg)
+		if err != nil {
+			t.Fatalf("load %s: %v", pkg, err)
+		}
+		var diags []analysis.Diagnostic
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      l.fset,
+			Files:     fp.files,
+			Pkg:       fp.types,
+			TypesInfo: fp.info,
+			Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			t.Fatalf("%s: run on %s: %v", a.Name, pkg, err)
+		}
+		check(t, l.fset, fp, pkg, diags)
+	}
+}
+
+type fixturePkg struct {
+	files []*ast.File
+	types *types.Package
+	info  *types.Info
+}
+
+type loader struct {
+	src     string
+	fset    *token.FileSet
+	checked map[string]*fixturePkg
+	exports map[string]string
+	gc      types.Importer
+}
+
+// load parses and type-checks one fixture package (memoized).
+func (l *loader) load(pkg string) (*fixturePkg, error) {
+	if fp, ok := l.checked[pkg]; ok {
+		return fp, nil
+	}
+	dir := filepath.Join(l.src, pkg)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := analysis.NewInfo()
+	conf := types.Config{Importer: importerFunc(l.importPkg)}
+	tpkg, err := conf.Check(pkg, l.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	fp := &fixturePkg{files: files, types: tpkg, info: info}
+	l.checked[pkg] = fp
+	return fp, nil
+}
+
+// importPkg resolves an import from a fixture: fixture-local packages load
+// recursively from testdata/src, everything else comes from the toolchain's
+// export data via a single shared gc importer (so a std package has one
+// identity across all fixtures).
+func (l *loader) importPkg(path string) (*types.Package, error) {
+	if st, err := os.Stat(filepath.Join(l.src, path)); err == nil && st.IsDir() {
+		fp, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return fp.types, nil
+	}
+	if l.gc == nil {
+		l.exports = make(map[string]string)
+		l.gc = analysis.ExportImporter(l.fset, l.exports)
+	}
+	if _, ok := l.exports[path]; !ok {
+		m, err := analysis.StdExports(path)
+		if err != nil {
+			return nil, err
+		}
+		for k, v := range m {
+			l.exports[k] = v
+		}
+	}
+	return l.gc.Import(path)
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// expectation is one unmatched want regexp at a file:line.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantRe = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// check compares diagnostics to // want comments.
+func check(t *testing.T, fset *token.FileSet, fp *fixturePkg, pkg string, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range fp.files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, q := range wantRe.FindAllString(strings.TrimPrefix(text, "want "), -1) {
+					expr := strings.Trim(q, "`")
+					if strings.HasPrefix(q, `"`) {
+						expr = strings.ReplaceAll(strings.Trim(q, `"`), `\"`, `"`)
+					}
+					re, err := regexp.Compile(expr)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, q, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic in %s: %s", pos, pkg, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package berencheck_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/berencheck"
+)
+
+func TestBEREncCheck(t *testing.T) {
+	analysistest.Run(t, "testdata", berencheck.Analyzer, "a")
+}

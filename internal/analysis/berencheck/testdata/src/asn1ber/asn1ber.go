@@ -1,0 +1,11 @@
+// Package asn1ber is a fixture standing in for the real codec: what matters
+// to the analyzer is the package name and the error-returning signatures.
+package asn1ber
+
+type Reader struct{}
+
+func (r *Reader) ReadTLV() (byte, []byte, error) { return 0, nil, nil }
+
+func ParseInt(content []byte) (int64, error) { return 0, nil }
+
+func AppendInt(dst []byte, tag byte, v int64) []byte { return dst }

@@ -1,0 +1,12 @@
+// Package snmp is a fixture standing in for the real protocol layer.
+package snmp
+
+type Message struct{}
+
+func Decode(b []byte) (*Message, error) { return nil, nil }
+
+func (m *Message) Encode() []byte { return nil }
+
+type Client struct{}
+
+func (c *Client) Walk(host string) ([]int, error) { return nil, nil }

@@ -1,0 +1,12 @@
+package locksafe_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/locksafe"
+)
+
+func TestLockSafe(t *testing.T) {
+	analysistest.Run(t, "testdata", locksafe.Analyzer, "a")
+}

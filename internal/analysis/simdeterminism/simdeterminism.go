@@ -1,0 +1,103 @@
+// Package simdeterminism forbids wall-clock and global-randomness escape
+// hatches in simulation-facing packages.
+//
+// The experiment tables are byte-identical across runs and worker counts
+// only because every source of time and randomness flows from the kernel's
+// virtual clock and per-simulation *rand.Rand instances. A single stray
+// time.Now or global rand.Intn silently breaks that reproducibility, so
+// this pass mechanically bans them where the simulation runs:
+//
+//   - functions of package time that read or wait on the wall clock
+//     (Now, Since, Until, Sleep, After, AfterFunc, Tick, NewTimer,
+//     NewTicker); time.Duration and the time constants remain fine;
+//   - package-level functions of math/rand and math/rand/v2 that draw from
+//     the shared global source (rand.Int, rand.Intn, rand.Float64, ...);
+//     constructing private sources via rand.New/NewSource is the sanctioned
+//     pattern and stays allowed.
+//
+// The real-network layer is exempt: files named real.go or *_real.go talk
+// to actual sockets and legitimately use the wall clock, and packages not
+// on the simulation-facing list (cmd mains, the analysis suite itself) are
+// not checked at all. Individual lines opt out with
+// `//lint:allow wallclock <reason>` or `//lint:allow globalrand <reason>`.
+package simdeterminism
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the simdeterminism pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "simdeterminism",
+	Doc:  "forbid wall-clock time and global math/rand in simulation-facing packages",
+	Run:  run,
+}
+
+// simPackages lists the package names (basenames) whose code runs under the
+// simulation kernel. nttcp and snmp appear even though they have a real-UDP
+// layer: their real.go files are exempted by name.
+var simPackages = map[string]bool{
+	"sim": true, "netsim": true, "rtds": true, "hifi": true, "cots": true,
+	"hybrid": true, "experiments": true, "chaos": true, "rmon": true,
+	"manager": true, "flowmeter": true, "rstream": true, "topo": true,
+	"vclock": true, "mib": true, "snmp": true, "nttcp": true, "core": true,
+	"metrics": true, "report": true, "integration": true,
+}
+
+// wallClockFuncs are the package-time functions that touch the wall clock.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// randConstructors are the math/rand functions that build private sources
+// rather than drawing from the global one.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !simPackages[pass.Pkg.Name()] {
+		return nil
+	}
+	for _, file := range pass.Files {
+		base := pass.Filename(file.Pos())
+		if base == "real.go" || strings.HasSuffix(base, "_real.go") {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+			if ok {
+				check(pass, id, fn)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func check(pass *analysis.Pass, id *ast.Ident, fn *types.Func) {
+	if fn.Pkg() == nil || fn.Type().(*types.Signature).Recv() != nil {
+		return // methods (e.g. (*rand.Rand).Intn, Time.Add) are fine
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if wallClockFuncs[fn.Name()] && !pass.Allowed(id.Pos(), "wallclock") {
+			pass.Reportf(id.Pos(), "time.%s reads the wall clock in simulation-facing package %s; use the kernel's virtual clock (or annotate //lint:allow wallclock)", fn.Name(), pass.Pkg.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		if !randConstructors[fn.Name()] && !pass.Allowed(id.Pos(), "globalrand") {
+			pass.Reportf(id.Pos(), "rand.%s draws from the process-global source in simulation-facing package %s; use a per-simulation *rand.Rand (or annotate //lint:allow globalrand)", fn.Name(), pass.Pkg.Name())
+		}
+	}
+}

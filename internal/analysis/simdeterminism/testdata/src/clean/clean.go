@@ -1,0 +1,7 @@
+// Package clean is not on the simulation-facing list, so wall-clock use is
+// unconstrained.
+package clean
+
+import "time"
+
+func Timestamp() time.Time { return time.Now() }

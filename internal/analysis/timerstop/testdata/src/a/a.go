@@ -1,0 +1,23 @@
+package a
+
+import "sim"
+
+func bad(k *sim.Kernel) {
+	k.Every(10, func() {})     // want `Timer returned by Every is discarded`
+	_ = k.Every(10, func() {}) // want `Timer returned by Every is discarded`
+}
+
+func good(k *sim.Kernel) {
+	t := k.Every(10, func() {})
+	defer t.Stop()
+	k.After(5, func() {}) // one-shot timers are fire-and-forget: fine
+	//lint:allow leaktimer process-lifetime ticker
+	k.Every(10, func() {})
+}
+
+type notsim struct{}
+
+// Every here returns an int, not a sim.Timer: out of scope.
+func (notsim) Every(period int64) int { return 0 }
+
+func alsoGood(n notsim) { n.Every(1) }

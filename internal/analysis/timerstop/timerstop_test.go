@@ -1,0 +1,12 @@
+package timerstop_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/timerstop"
+)
+
+func TestTimerStop(t *testing.T) {
+	analysistest.Run(t, "testdata", timerstop.Analyzer, "a")
+}

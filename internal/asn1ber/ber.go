@@ -102,7 +102,9 @@ func AppendString(dst []byte, tag byte, s []byte) []byte {
 func AppendNull(dst []byte) []byte { return append(dst, TagNull, 0x00) }
 
 // AppendOID appends an OBJECT IDENTIFIER from its arc list. OIDs shorter
-// than two arcs are padded per convention (the zeroDotZero form).
+// than two arcs are padded per convention (the zeroDotZero form). The first
+// two arcs combine in uint64 space, so a large second arc survives the
+// decode→encode round trip instead of wrapping at 2^32.
 func AppendOID(dst []byte, arcs []uint32) []byte {
 	var content []byte
 	var first, second uint32
@@ -112,7 +114,7 @@ func AppendOID(dst []byte, arcs []uint32) []byte {
 	if len(arcs) > 1 {
 		second = arcs[1]
 	}
-	content = appendBase128(content, uint64(first*40+second))
+	content = appendBase128(content, uint64(first)*40+uint64(second))
 	for _, arc := range arcs[min(2, len(arcs)):] {
 		content = appendBase128(content, uint64(arc))
 	}
@@ -233,36 +235,47 @@ func ParseUint(content []byte) (uint64, error) {
 	return v, nil
 }
 
-// ParseOID decodes OBJECT IDENTIFIER content octets into an arc list.
+// ParseOID decodes OBJECT IDENTIFIER content octets into an arc list. Arcs
+// must fit in uint32 (the combined first subidentifier may reach 2*40 +
+// 2^32-1, since X.690 folds the first two arcs together); anything larger
+// is rejected rather than silently truncated, so a decoded OID always
+// re-encodes to the same bytes.
 func ParseOID(content []byte) ([]uint32, error) {
 	if len(content) == 0 {
 		return nil, errors.New("asn1ber: empty OID")
 	}
+	// Largest value any subidentifier may take: the folded first pair.
+	const maxSubID = 2*40 + 0xffffffff
 	var arcs []uint32
 	var v uint64
 	first := true
 	for i, b := range content {
 		v = v<<7 | uint64(b&0x7f)
+		if v > maxSubID {
+			return nil, errOIDArcOverflow
+		}
 		if b&0x80 != 0 {
-			if v > 1<<32 {
-				return nil, errors.New("asn1ber: OID arc overflow")
-			}
 			if i == len(content)-1 {
 				return nil, ErrTruncated
 			}
 			continue
 		}
 		if first {
-			x := uint32(v / 40)
+			x := v / 40
 			if x > 2 {
 				x = 2
 			}
-			arcs = append(arcs, x, uint32(v)-x*40)
+			arcs = append(arcs, uint32(x), uint32(v-x*40))
 			first = false
 		} else {
+			if v > 0xffffffff {
+				return nil, errOIDArcOverflow
+			}
 			arcs = append(arcs, uint32(v))
 		}
 		v = 0
 	}
 	return arcs, nil
 }
+
+var errOIDArcOverflow = errors.New("asn1ber: OID arc overflow")

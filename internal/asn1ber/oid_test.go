@@ -1,0 +1,53 @@
+package asn1ber
+
+import (
+	"errors"
+	"slices"
+	"testing"
+)
+
+// TestOIDArcBounds pins the overflow handling the fuzzer forced: arcs must
+// fit uint32 (the folded first pair may reach 2*40 + 2^32-1) and anything
+// larger is an error, never a silent truncation.
+func TestOIDArcBounds(t *testing.T) {
+	// The maximum representable OID: first pair folds to 80 + 2^32-1.
+	max := []uint32{2, 0xffffffff}
+	enc := AppendOID(nil, max)
+	content, err := NewReader(enc).ReadExpect(TagOID)
+	if err != nil {
+		t.Fatalf("max OID unreadable: %v", err)
+	}
+	got, err := ParseOID(content)
+	if err != nil || !slices.Equal(got, max) {
+		t.Fatalf("max OID round trip: %v (err %v)", got, err)
+	}
+
+	// A large trailing arc survives too.
+	wide := []uint32{1, 3, 0xffffffff}
+	content, err = NewReader(AppendOID(nil, wide)).ReadExpect(TagOID)
+	if err != nil {
+		t.Fatalf("wide OID unreadable: %v", err)
+	}
+	if got, err := ParseOID(content); err != nil || !slices.Equal(got, wide) {
+		t.Fatalf("wide OID round trip: %v (err %v)", got, err)
+	}
+
+	// One past the folded-first-pair maximum must be rejected. Before the
+	// bounds fix this truncated to a different OID that re-encoded to
+	// different bytes.
+	overFirst := appendBase128(nil, 2*40+0x100000000)
+	if _, err := ParseOID(overFirst); !errors.Is(err, errOIDArcOverflow) {
+		t.Fatalf("first-pair overflow: err = %v, want arc overflow", err)
+	}
+
+	// A non-first arc just past uint32 must be rejected as well.
+	overArc := appendBase128(appendBase128(nil, 43), 0x100000000)
+	if _, err := ParseOID(overArc); !errors.Is(err, errOIDArcOverflow) {
+		t.Fatalf("arc overflow: err = %v, want arc overflow", err)
+	}
+
+	// A truncated multi-byte arc still reports ErrTruncated.
+	if _, err := ParseOID([]byte{0x81}); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("dangling continuation: err = %v, want ErrTruncated", err)
+	}
+}

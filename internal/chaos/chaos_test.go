@@ -4,6 +4,9 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/core"
+	"repro/internal/cots"
+	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/sim"
 	"repro/internal/topo"
@@ -144,6 +147,76 @@ func TestChaosAgainstResourceManagerScenario(t *testing.T) {
 		if s.Log[i].String() != s2.Log[i].String() {
 			t.Fatalf("chaos diverged at %d", i)
 		}
+	}
+}
+
+func TestFaultsSurfaceThroughMonitorRun(t *testing.T) {
+	// End-to-end: an injected host crash must be visible to a resource
+	// manager reading the monitor's database — reachability goes 1 while
+	// the host answers, 0 while it is dead, and back to 1 after Restore.
+	k := sim.NewKernel()
+	defer k.Close()
+	h := topo.BuildHiPerD(k, 1)
+	path := core.NewPath(
+		core.ProcessRef{Host: "s1", Process: "rtds"},
+		core.ProcessRef{Host: "c1", Process: "client"},
+	)
+	m := cots.New(h.Mgmt, "public", 500*time.Millisecond)
+	m.Submit(core.Request{Paths: []core.Path{path}, Metrics: []metrics.Metric{metrics.Reachability}})
+	m.Start()
+
+	s := NewSchedule(h.Net)
+	s.Kill("c1", 5*time.Second).Restore("c1", 10*time.Second)
+	k.RunUntil(16 * time.Second)
+
+	if len(s.Log) != 2 || s.Log[0].Kind != "kill" || s.Log[1].Kind != "restore" {
+		t.Fatalf("injection log = %v", s.Log)
+	}
+	hist := m.DB.History(path.ID, metrics.Reachability, 0)
+	if len(hist) == 0 {
+		t.Fatal("monitor recorded no reachability samples")
+	}
+	// Collapse the sample series into its phase transitions.
+	var phases []float64
+	for _, ms := range hist {
+		if len(phases) == 0 || phases[len(phases)-1] != ms.Value {
+			phases = append(phases, ms.Value)
+		}
+	}
+	want := []float64{1, 0, 1}
+	if len(phases) != len(want) {
+		t.Fatalf("reachability phases = %v, want %v (history %v)", phases, want, hist)
+	}
+	for i := range want {
+		if phases[i] != want[i] {
+			t.Fatalf("reachability phases = %v, want %v", phases, want)
+		}
+	}
+	// And the up/down flanks must line up with the injection times.
+	for _, ms := range hist {
+		down := ms.TakenAt > 5*time.Second && ms.TakenAt < 10*time.Second
+		if down && ms.Value != 0 {
+			t.Fatalf("sample at %v reads reachable while host dead", ms.TakenAt)
+		}
+		if ms.TakenAt < 5*time.Second && ms.Value != 1 {
+			t.Fatalf("sample at %v reads unreachable before the kill", ms.TakenAt)
+		}
+	}
+}
+
+func TestKillUnknownHostIsNoOp(t *testing.T) {
+	// Injections against hosts that do not exist must neither panic nor
+	// pollute the log.
+	k, nw, a, _, _ := fixture(t)
+	sink := flow(k, a, time.Second)
+	s := NewSchedule(nw)
+	s.Kill("ghost", 200*time.Millisecond).Restore("ghost", 400*time.Millisecond)
+	k.Run()
+	if len(s.Log) != 0 {
+		t.Fatalf("no-op injections were recorded: %v", s.Log)
+	}
+	if sink.Received < 80 {
+		t.Fatalf("traffic disturbed by no-op injection: %d received", sink.Received)
 	}
 }
 

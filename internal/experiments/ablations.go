@@ -66,7 +66,7 @@ func A1(quick bool) *report.Table {
 		trapsSent, informsOK := 0, 0
 		informerDone := false
 		gap := window / time.Duration(events+1)
-		k.Every(gap, func() {
+		trapGen := k.Every(gap, func() {
 			if trapsSent < events {
 				agent.SendTrap(mib.Enterprise, nil, snmp.TrapEnterpriseSpecific, trapsSent, nil)
 				trapsSent++
@@ -88,6 +88,7 @@ func A1(quick bool) *report.Table {
 			deadline += 5 * time.Second
 			k.RunUntil(deadline)
 		}
+		trapGen.Stop()
 		trapFrac := float64(sink.Stats.Processed-sink.Stats.InformsAcked) / float64(trapsSent)
 		informFrac := float64(informsOK) / float64(events)
 		pktsPerEvent := float64(2*notifier.Stats.Acked+notifier.Stats.Sent-notifier.Stats.Acked) / float64(events)
@@ -125,7 +126,7 @@ func A2(quick bool) *report.Table {
 		m.Start()
 		var peakF, peakE float64
 		lastF, lastE := h.FDDI.Stats().Octets, h.Eth.Stats().Octets
-		k.Every(100*time.Millisecond, func() {
+		sampler := k.Every(100*time.Millisecond, func() {
 			f, e := h.FDDI.Stats().Octets, h.Eth.Stats().Octets
 			if bps := float64(f-lastF) * 80; bps > peakF {
 				peakF = bps
@@ -136,6 +137,7 @@ func A2(quick bool) *report.Table {
 			lastF, lastE = f, e
 		})
 		k.RunUntil(horizon)
+		sampler.Stop()
 		spacing := historySpacing(m.DB, paths[0].ID, metrics.Throughput)
 		t.AddRow(conc, report.Bps(peakF), report.Bps(peakE), report.Dur(m.SweepTime), report.Dur(spacing))
 		k.Close()

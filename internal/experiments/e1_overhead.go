@@ -47,7 +47,7 @@ func E1(quick bool) *report.Table {
 		// the paper's "peak overhead" framing.
 		var peakFDDI, peakEth float64
 		lastFDDI, lastEth := h.FDDI.Stats().Octets, h.Eth.Stats().Octets
-		k.Every(bucket, func() {
+		sampler := k.Every(bucket, func() {
 			f, e := h.FDDI.Stats().Octets, h.Eth.Stats().Octets
 			if bps := float64(f-lastFDDI) * 8 / bucket.Seconds(); bps > peakFDDI {
 				peakFDDI = bps
@@ -58,6 +58,7 @@ func E1(quick bool) *report.Table {
 			lastFDDI, lastEth = f, e
 		})
 		k.RunUntil(window)
+		sampler.Stop()
 		analytic := m.PeakOverheadBps(1)
 		if mode.concurrency > 1 {
 			analytic = m.PeakOverheadBps(27)

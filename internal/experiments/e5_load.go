@@ -82,13 +82,14 @@ func E5(quick bool) *report.Table {
 			}
 		})
 		trapsSent := 0
-		h.Net.K.Every(50*time.Millisecond, func() {
+		trapGen := h.Net.K.Every(50*time.Millisecond, func() {
 			trapAgent.SendTrap(mib.Enterprise, nil, snmp.TrapEnterpriseSpecific, trapsSent, nil)
 			trapsSent++
 		})
 
 		eth0 := h.Eth.Stats()
 		k.RunUntil(window)
+		trapGen.Stop()
 		ethStats := h.Eth.Stats()
 		util := float64(ethStats.Octets-eth0.Octets) * 8 / window.Seconds() / wire
 

@@ -60,11 +60,15 @@ func E9(quick bool) *report.Table {
 	client := snmp.NewClient(h.Mgmt, "public")
 
 	var walked []snmp.VarBind
+	var walkErr error
 	h.Mgmt.Spawn("walker", func(p *sim.Proc) {
 		p.Sleep(5 * time.Second) // connection established and moving data
-		walked, _ = client.Walk(p, "s1", mib.TCPConn)
+		walked, walkErr = client.Walk(p, "s1", mib.TCPConn)
 	})
 	k.RunUntil(60 * time.Second)
+	if walkErr != nil {
+		t.AddNote("WARNING: SNMP walk failed: %v", walkErr)
+	}
 
 	// Columns seen over SNMP (per connection row).
 	colsSeen := map[uint32]bool{}

@@ -93,7 +93,7 @@ func (n *Notifier) Inform(p *sim.Proc, binds []VarBind) error {
 // caller); failures only show in Stats.
 func (n *Notifier) InformAsync(binds []VarBind) {
 	n.node.Spawn("inform", func(p *sim.Proc) {
-		n.Inform(p, binds)
+		n.Inform(p, binds) //lint:allow droperr async by contract: failures are counted in Stats.Failed
 	})
 }
 
