@@ -1,5 +1,5 @@
 // Package repro's root benchmark suite regenerates every experiment of the
-// paper's evaluation (the E1–E11 index in DESIGN.md) plus the A1–A3
+// paper's evaluation (the E1–E12 index in DESIGN.md) plus the A1–A3
 // ablations: one benchmark per table/figure claim, each running the
 // corresponding experiment in quick mode per iteration. Run with:
 //
@@ -61,6 +61,9 @@ func BenchmarkE10Scalability(b *testing.B) { benchExperiment(b, "E10") }
 
 // BenchmarkE11LivenessPolling regenerates the detection-latency table.
 func BenchmarkE11LivenessPolling(b *testing.B) { benchExperiment(b, "E11") }
+
+// BenchmarkE12Resilience regenerates the chaos-vs-resilience table.
+func BenchmarkE12Resilience(b *testing.B) { benchExperiment(b, "E12") }
 
 // BenchmarkA1TrapVsInform regenerates the notification-mechanism ablation.
 func BenchmarkA1TrapVsInform(b *testing.B) { benchExperiment(b, "A1") }

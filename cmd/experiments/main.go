@@ -1,4 +1,4 @@
-// Command experiments regenerates the paper's evaluation tables (E1–E11 in
+// Command experiments regenerates the paper's evaluation tables (E1–E12 in
 // DESIGN.md). With no arguments it runs everything; pass experiment ids
 // (e.g. "E1 E5") to run a subset, -quick for shorter virtual runs, and
 // -markdown for EXPERIMENTS.md-ready output. Experiments run concurrently

@@ -45,7 +45,7 @@ var simPackages = map[string]bool{
 	"hybrid": true, "experiments": true, "chaos": true, "rmon": true,
 	"manager": true, "flowmeter": true, "rstream": true, "topo": true,
 	"vclock": true, "mib": true, "snmp": true, "nttcp": true, "core": true,
-	"metrics": true, "report": true, "integration": true,
+	"metrics": true, "report": true, "integration": true, "resilience": true,
 }
 
 // wallClockFuncs are the package-time functions that touch the wall clock.

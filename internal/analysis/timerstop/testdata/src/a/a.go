@@ -21,3 +21,30 @@ type notsim struct{}
 func (notsim) Every(period int64) int { return 0 }
 
 func alsoGood(n notsim) { n.Every(1) }
+
+// director mirrors the DirectorBase watchdog shape: a wrapper that starts a
+// periodic sweeper and hands the Every timer to its caller to own.
+type director struct{ k *sim.Kernel }
+
+func (d director) StartSenescenceWatchdog(every, ttl int64) sim.Timer {
+	return d.k.Every(every, func() {})
+}
+
+// startProbeTicker mirrors a breaker's half-open probe ticker.
+func startProbeTicker(k *sim.Kernel) sim.Timer {
+	return k.Every(1, func() {})
+}
+
+func badWatchdog(d director, k *sim.Kernel) {
+	d.StartSenescenceWatchdog(500, 2000)     // want `Timer returned by StartSenescenceWatchdog is discarded`
+	_ = d.StartSenescenceWatchdog(500, 2000) // want `Timer returned by StartSenescenceWatchdog is discarded`
+	startProbeTicker(k)                      // want `Timer returned by startProbeTicker is discarded`
+}
+
+func goodWatchdog(d director, k *sim.Kernel) {
+	wd := d.StartSenescenceWatchdog(500, 2000)
+	defer wd.Stop()
+	//lint:allow leaktimer run-lifetime watchdog, never stopped by design
+	d.StartSenescenceWatchdog(500, 2000)
+	k.After(5, func() {}) // one-shot: exempt by name
+}

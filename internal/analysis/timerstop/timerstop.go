@@ -5,8 +5,11 @@
 // PR 1 bug class: an un-stoppable Every keeps the event queue non-empty, so
 // Kernel.Run never drains and any later phase of the run still pays for the
 // abandoned ticker. One-shot At/After timers fire once and are routinely
-// fire-and-forget, so only Every-shaped calls (any function named Every
-// returning a sim.Timer) are checked.
+// fire-and-forget, so those names are exempt; every other function that
+// returns a sim.Timer — Every itself, and wrappers like the senescence
+// watchdog (DirectorBase.StartSenescenceWatchdog) or a breaker's probe
+// ticker — hands ownership of a periodic timer to the caller, and a
+// discarded result is flagged.
 //
 // A deliberately process-lifetime ticker opts out with
 // `//lint:allow leaktimer <reason>`.
@@ -61,13 +64,17 @@ func check(pass *analysis.Pass, call *ast.CallExpr) {
 		return
 	}
 	fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
-	if !ok || fn.Name() != "Every" || !returnsSimTimer(fn) {
+	if !ok || oneShot[fn.Name()] || !returnsSimTimer(fn) {
 		return
 	}
 	if !pass.Allowed(call.Pos(), "leaktimer") {
 		pass.Reportf(call.Pos(), "Timer returned by %s is discarded: the periodic timer can never be stopped; keep the handle and Stop it (or annotate //lint:allow leaktimer)", fn.Name())
 	}
 }
+
+// oneShot names the kernel's fire-once scheduling calls, whose Timer
+// handle is legitimately fire-and-forget.
+var oneShot = map[string]bool{"At": true, "After": true}
 
 // returnsSimTimer reports whether fn's single result is a named type Timer
 // from a package named sim.

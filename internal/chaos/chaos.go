@@ -69,7 +69,20 @@ func (s *Schedule) Restore(host netsim.Addr, at time.Duration) *Schedule {
 
 // Flap takes a host down and up repeatedly: count down/up cycles starting
 // at the given time, with the host spending downFor of every period down.
+// count and the two durations must be positive (a zero-cycle or
+// zero-length flap is always a caller bug, and used to silently schedule
+// nothing); downFor is clamped to period so consecutive cycles cannot
+// overlap into an out-of-order kill/restore interleaving.
 func (s *Schedule) Flap(host netsim.Addr, start time.Duration, period, downFor time.Duration, count int) *Schedule {
+	if count <= 0 {
+		panic(fmt.Sprintf("chaos: Flap(%s): count %d, want > 0", host, count))
+	}
+	if period <= 0 || downFor <= 0 {
+		panic(fmt.Sprintf("chaos: Flap(%s): period %v / downFor %v, want > 0", host, period, downFor))
+	}
+	if downFor > period {
+		downFor = period
+	}
 	for i := 0; i < count; i++ {
 		base := start + time.Duration(i)*period
 		s.Kill(host, base)
@@ -145,14 +158,23 @@ func (s *Schedule) Partition(hosts []netsim.Addr, from, to time.Duration) *Sched
 
 // Degrade raises the loss probability of a segment between from and to —
 // a flaky cable rather than a dead one. It works by swapping the config's
-// loss probability in place.
+// loss probability in place; healing restores the value the segment had
+// at injection time, so a segment with baseline loss does not come back
+// magically perfect.
 func (s *Schedule) Degrade(seg *netsim.SharedSegment, lossProb float64, from, to time.Duration) *Schedule {
+	var prev float64
+	injected := false
 	s.k.At(from, func() {
+		prev = seg.Config().LossProb
+		injected = true
 		seg.SetLossProb(lossProb)
 		s.record("degrade", netsim.Addr(seg.Name()))
 	})
 	s.k.At(to, func() {
-		seg.SetLossProb(0)
+		if !injected {
+			return
+		}
+		seg.SetLossProb(prev)
 		s.record("heal-degrade", netsim.Addr(seg.Name()))
 	})
 	return s

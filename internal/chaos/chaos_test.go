@@ -120,6 +120,88 @@ func TestDegradeRaisesLoss(t *testing.T) {
 	}
 }
 
+func TestDegradeRestoresBaselineLoss(t *testing.T) {
+	// Regression: healing used to hard-reset loss to 0, so degrading a
+	// segment with baseline loss left it magically perfect afterwards.
+	k, nw, _, _, seg := fixture(t)
+	seg.SetLossProb(0.1)
+	s := NewSchedule(nw)
+	s.Degrade(seg, 0.5, time.Second, 2*time.Second)
+	k.RunUntil(3 * time.Second)
+	if got := seg.Config().LossProb; got != 0.1 {
+		t.Fatalf("baseline loss after heal = %v, want 0.1", got)
+	}
+	if len(s.Log) != 2 || s.Log[0].Kind != "degrade" || s.Log[1].Kind != "heal-degrade" {
+		t.Fatalf("log = %v", s.Log)
+	}
+}
+
+func TestDegradeHealWithoutInjectionIsNoOp(t *testing.T) {
+	// The heal callback must not fire when the injection never ran (e.g.
+	// the kernel stopped before the degrade time).
+	k, nw, _, _, seg := fixture(t)
+	seg.SetLossProb(0.2)
+	s := NewSchedule(nw)
+	s.Degrade(seg, 0.9, 10*time.Second, 20*time.Second)
+	k.RunUntil(time.Second)
+	// Drain the pending events by hand: run to completion; the degrade
+	// fires at 10s, heal at 20s — both beyond what this test simulated,
+	// so nothing should have been recorded yet.
+	if len(s.Log) != 0 {
+		t.Fatalf("premature injections: %v", s.Log)
+	}
+	if seg.Config().LossProb != 0.2 {
+		t.Fatalf("loss prob disturbed: %v", seg.Config().LossProb)
+	}
+}
+
+func TestFlapRejectsBadArguments(t *testing.T) {
+	// Regression: count <= 0 and non-positive durations used to silently
+	// schedule nothing (or overlapping kill/restore pairs).
+	_, nw, _, _, _ := fixture(t)
+	s := NewSchedule(nw)
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("count=0", func() { s.Flap("b", 0, time.Second, 100*time.Millisecond, 0) })
+	mustPanic("count<0", func() { s.Flap("b", 0, time.Second, 100*time.Millisecond, -3) })
+	mustPanic("period=0", func() { s.Flap("b", 0, 0, 100*time.Millisecond, 1) })
+	mustPanic("downFor=0", func() { s.Flap("b", 0, time.Second, 0, 1) })
+}
+
+func TestFlapClampsDownForToPeriod(t *testing.T) {
+	// downFor > period used to produce overlapping cycles where a later
+	// Kill fired before the earlier Restore, leaving host state dependent
+	// on scheduling order. Clamped, the host is simply down continuously
+	// and comes back after the last cycle.
+	k, nw, _, b, _ := fixture(t)
+	s := NewSchedule(nw)
+	s.Flap("b", time.Second, time.Second, 5*time.Second, 3)
+	k.RunUntil(10 * time.Second)
+	if !b.Up() {
+		t.Fatal("host not up after clamped flap finished")
+	}
+	// 3 kills + 3 restores, restores at period boundaries (base+period).
+	if len(s.Log) != 6 {
+		t.Fatalf("log = %v", s.Log)
+	}
+	var lastRestore time.Duration
+	for _, e := range s.Log {
+		if e.Kind == "restore" {
+			lastRestore = e.At
+		}
+	}
+	if lastRestore != 4*time.Second {
+		t.Fatalf("last restore at %v, want 4s (start 1s + cycle 3 end)", lastRestore)
+	}
+}
+
 func TestChaosAgainstResourceManagerScenario(t *testing.T) {
 	// The survivability premise: a flapping host must not bounce the
 	// workload around when the manager has cooldown protection — chaos

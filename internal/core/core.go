@@ -187,6 +187,14 @@ type Monitor interface {
 	Stop()
 }
 
+// FreshQuerier is the senescence-aware extension of Monitor: QueryFresh
+// answers like Query, but reports ok=false when the database's entry has
+// been marked stale by a senescence watchdog or is older than ttl at
+// virtual time now. Monitors built on DirectorBase implement it.
+type FreshQuerier interface {
+	QueryFresh(path PathID, metric metrics.Metric, now, ttl time.Duration) (Measurement, bool)
+}
+
 // ComposeSegments folds per-segment measurements into a path-level value:
 // throughput is the bottleneck minimum, latency the sum, reachability the
 // conjunction. Any failed segment fails the path.

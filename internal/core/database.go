@@ -21,6 +21,7 @@ type dbSeries struct {
 	current   Measurement
 	lastKnown Measurement
 	hasLast   bool
+	stale     bool // marked by MarkStale; cleared by the next Record
 	ring      []Measurement // fixed capacity == history depth
 	head      int           // index of the oldest retained sample
 	count     int           // retained samples, <= len(ring)
@@ -39,6 +40,9 @@ type Database struct {
 	series map[dbKey]*dbSeries
 	// Records counts all stored measurements.
 	Records uint64
+	// StaleMarked counts series marked stale by MarkStale over the
+	// database's lifetime (the senescence watchdog's intervention count).
+	StaleMarked uint64
 }
 
 // NewDatabase returns an empty store.
@@ -61,6 +65,7 @@ func (db *Database) Record(m Measurement) {
 		db.series[key] = s
 	}
 	s.current = m
+	s.stale = false
 	if m.OK() {
 		s.lastKnown = m
 		s.hasLast = true
@@ -156,6 +161,66 @@ func (db *Database) Senescence(now time.Duration, path PathID, metric metrics.Me
 		return 0, false
 	}
 	return now - s.current.TakenAt, true
+}
+
+// CurrentWithAge returns the latest sample for the series together with its
+// age at virtual time now — the Query variant a senescence-aware resource
+// manager uses before trusting the value.
+func (db *Database) CurrentWithAge(now time.Duration, path PathID, metric metrics.Metric) (Measurement, time.Duration, bool) {
+	s := db.series[dbKey{path, metric}]
+	if s == nil {
+		return Measurement{}, 0, false
+	}
+	return s.current, now - s.current.TakenAt, true
+}
+
+// Stale reports whether the series has been marked stale by MarkStale and
+// not refreshed by a Record since.
+func (db *Database) Stale(path PathID, metric metrics.Metric) bool {
+	s := db.series[dbKey{path, metric}]
+	return s != nil && s.stale
+}
+
+// Fresh returns the current sample only when it is trustworthy at virtual
+// time now: not marked stale by the senescence watchdog and, when ttl > 0,
+// no older than ttl. A stale or over-age sample reports ok=false — stale
+// data is missing data, not evidence of health.
+func (db *Database) Fresh(now time.Duration, path PathID, metric metrics.Metric, ttl time.Duration) (Measurement, bool) {
+	s := db.series[dbKey{path, metric}]
+	if s == nil || s.stale {
+		return Measurement{}, false
+	}
+	if ttl > 0 && now-s.current.TakenAt > ttl {
+		return Measurement{}, false
+	}
+	return s.current, true
+}
+
+// MarkStale marks every series whose current sample is older than ttl at
+// virtual time now, and returns how many it newly marked. The next Record
+// on a series clears its mark. The senescence watchdog (see
+// DirectorBase.StartSenescenceWatchdog) calls this periodically.
+func (db *Database) MarkStale(now, ttl time.Duration) int {
+	marked := 0
+	for _, s := range db.series {
+		if !s.stale && now-s.current.TakenAt > ttl {
+			s.stale = true
+			marked++
+		}
+	}
+	db.StaleMarked += uint64(marked)
+	return marked
+}
+
+// StaleCount reports how many series are currently marked stale.
+func (db *Database) StaleCount() int {
+	n := 0
+	for _, s := range db.series {
+		if s.stale {
+			n++
+		}
+	}
+	return n
 }
 
 // MaxSenescence returns the largest current-sample age across all series —

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"time"
+
 	"repro/internal/metrics"
 	"repro/internal/sim"
 )
@@ -61,6 +63,23 @@ func (d *DirectorBase) Query(path PathID, metric metrics.Metric) (Measurement, b
 // LastKnown implements last-known-value reporting (Monitor interface).
 func (d *DirectorBase) LastKnown(path PathID, metric metrics.Metric) (Measurement, bool) {
 	return d.DB.LastKnown(path, metric)
+}
+
+// QueryFresh implements senescence-aware current-value reporting
+// (FreshQuerier): the current sample is returned only while it is neither
+// marked stale by the watchdog nor older than ttl at virtual time now.
+func (d *DirectorBase) QueryFresh(path PathID, metric metrics.Metric, now, ttl time.Duration) (Measurement, bool) {
+	return d.DB.Fresh(now, path, metric, ttl)
+}
+
+// StartSenescenceWatchdog spawns a periodic sweeper on k that marks
+// database entries stale once their age exceeds ttl, so queries through
+// Fresh/QueryFresh treat them as missing. It returns the timer; the caller
+// owns it and must Stop it when collection ends.
+func (d *DirectorBase) StartSenescenceWatchdog(k *sim.Kernel, every, ttl time.Duration) sim.Timer {
+	return k.Every(every, func() {
+		d.DB.MarkStale(k.Now(), ttl)
+	})
 }
 
 // Reports returns the asynchronous stream (Monitor interface).

@@ -27,10 +27,21 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/mib"
 	"repro/internal/netsim"
+	"repro/internal/resilience"
 	"repro/internal/rmon"
 	"repro/internal/sim"
 	"repro/internal/snmp"
 )
+
+// ResilienceStats counts the resilience layer's interventions.
+type ResilienceStats struct {
+	// FastFailedPolls counts host polls skipped because the host's circuit
+	// breaker was open; each one is a timeout the sweep did not wait out.
+	FastFailedPolls uint64
+	// ShedSweeps counts poll cycles deferred because the open-breaker
+	// fraction crossed ShedOpenFraction (fleet-wide timeout spike).
+	ShedSweeps uint64
+}
 
 // Monitor is the COTS instantiation of the core architecture.
 type Monitor struct {
@@ -44,6 +55,24 @@ type Monitor struct {
 
 	// Agents tracks the agents deployed by EnsureAgents, per host.
 	Agents map[netsim.Addr]*DeployedAgent
+
+	// Breakers, when non-nil, holds one circuit breaker per polled agent:
+	// an open breaker fast-fails the host's poll (recording reachability 0
+	// immediately) instead of burning a timeout every sweep. Install via
+	// EnableResilience.
+	Breakers *resilience.BreakerSet
+	// ShedOpenFraction: when the fraction of non-closed breakers reaches
+	// this threshold (0 disables), the director sheds load by stretching
+	// the next poll interval by ShedFactor — a fleet-wide timeout spike
+	// means the network needs fewer packets, not more.
+	ShedOpenFraction float64
+	// ShedFactor multiplies PollInterval while shedding (minimum 1).
+	ShedFactor int
+
+	// RStats counts resilience-layer interventions.
+	RStats ResilienceStats
+	// Sweeps counts completed poll sweeps.
+	Sweeps int
 
 	host       *netsim.Node
 	nw         *netsim.Network
@@ -89,6 +118,22 @@ func New(host *netsim.Node, community string, pollInterval time.Duration) *Monit
 	m.Client.Timeout = 500 * time.Millisecond
 	m.Client.Retries = 1
 	return m
+}
+
+// EnableResilience installs the resilience layer: a circuit breaker per
+// polled agent, exponential backoff on the SNMP client's retries, a
+// per-request deadline budget, and fleet-wide load shedding. Call before
+// Start. Backoff may be nil (no retry spacing); budget 0 means uncapped.
+func (m *Monitor) EnableResilience(cfg resilience.BreakerConfig, backoff *resilience.Backoff, budget time.Duration) {
+	m.Breakers = resilience.NewBreakerSet(cfg)
+	m.Client.Backoff = backoff
+	m.Client.Budget = budget
+	if m.ShedOpenFraction == 0 {
+		m.ShedOpenFraction = 0.5
+	}
+	if m.ShedFactor < 1 {
+		m.ShedFactor = 2
+	}
 }
 
 // UseFlowMeter switches the throughput sensor from interface counter
@@ -147,7 +192,15 @@ func (m *Monitor) Start() {
 				continue
 			}
 			m.sweep(p, req)
-			p.Sleep(m.PollInterval)
+			interval := m.PollInterval
+			if m.Breakers != nil && m.ShedOpenFraction > 0 &&
+				m.Breakers.OpenFraction(p.Now()) >= m.ShedOpenFraction {
+				// Fleet-wide timeout spike: back off the whole sweep cadence
+				// rather than keep adding poll traffic to a sick network.
+				interval *= time.Duration(m.ShedFactor)
+				m.RStats.ShedSweeps++
+			}
+			p.Sleep(interval)
 		}
 	})
 }
@@ -193,6 +246,18 @@ func (m *Monitor) sweep(p *sim.Proc, req core.Request) {
 	}
 	samples := make(map[netsim.Addr]hostSample, len(hostOrder))
 	for _, host := range hostOrder {
+		var br *resilience.Breaker
+		if m.Breakers != nil {
+			br = m.Breakers.For(string(host))
+			if !br.Allow(p.Now()) {
+				// Circuit open: record the host as down immediately instead
+				// of spending a full timeout re-learning what the breaker
+				// already knows. The half-open probe re-checks it later.
+				m.RStats.FastFailedPolls++
+				samples[host] = hostSample{}
+				continue
+			}
+		}
 		rtt, binds, err := m.timedGet(p, host,
 			mib.SysUpTime,
 			mib.IfEntry.Append(10, 1), // ifInOctets.1
@@ -202,6 +267,13 @@ func (m *Monitor) sweep(p *sim.Proc, req core.Request) {
 			s.up = true
 			s.ticks = binds[0].Value.Uint
 			s.octets = binds[1].Value.Uint
+		}
+		if br != nil {
+			if s.up {
+				br.Success(p.Now())
+			} else {
+				br.Failure(p.Now())
+			}
 		}
 		samples[host] = s
 	}
@@ -258,6 +330,7 @@ func (m *Monitor) sweep(p *sim.Proc, req core.Request) {
 			m.Publish(meas)
 		}
 	}
+	m.Sweeps++
 }
 
 // timedGet issues a Get and reports the round-trip time.

@@ -8,6 +8,7 @@ import (
 	"repro/internal/flowmeter"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
+	"repro/internal/resilience"
 	"repro/internal/rmon"
 	"repro/internal/sim"
 	"repro/internal/topo"
@@ -273,5 +274,68 @@ func TestFlowMeterThroughputIsPathSpecific(t *testing.T) {
 	// Flow meter attributes only s1->c5 (within framing overhead).
 	if rel := metrics.RelErr(flowTP.Value, appWire); rel > 0.1 {
 		t.Fatalf("flow estimate %.3g vs app wire %.3g (rel %.3f)", flowTP.Value, appWire, rel)
+	}
+}
+
+func TestBreakerFastFailsDeadAgentPolls(t *testing.T) {
+	// With resilience on, a dead agent costs the sweep one breaker lookup
+	// instead of a full timeout+retry window, and its paths still read
+	// reachability 0. The watchdog comparison test in experiments (E12)
+	// quantifies the latency win; here we assert the mechanism.
+	k := sim.NewKernel()
+	defer k.Close()
+	h := topo.BuildHiPerD(k, 1)
+	m := New(h.Mgmt, "public", time.Second)
+	m.EnableResilience(resilience.BreakerConfig{FailThreshold: 2, OpenFor: 4 * time.Second},
+		resilience.NewBackoff(k.Rand(101), 50*time.Millisecond, 400*time.Millisecond, 0.2),
+		600*time.Millisecond)
+	paths := core.CrossProductPaths(h.ServerRefs()[:1], h.ClientRefs()[:2])
+	m.Submit(core.Request{Paths: paths, Metrics: []metrics.Metric{metrics.Reachability}})
+	m.Start()
+	k.At(3*time.Second, func() { h.Net.Node("c1").SetUp(false) })
+	k.RunUntil(12 * time.Second)
+
+	if m.RStats.FastFailedPolls == 0 {
+		t.Fatal("open breaker never fast-failed a poll")
+	}
+	br := m.Breakers.For("c1")
+	if br.Stats.Opens == 0 {
+		t.Fatalf("breaker for dead host never opened: %+v", br.Stats)
+	}
+	reach, ok := m.Query(paths[0].ID, metrics.Reachability)
+	if !ok || !reach.OK() || reach.Value != 0 {
+		t.Fatalf("dead-host path reachability = %v (ok=%v), want 0", reach, ok)
+	}
+	// The healthy host's paths must be unaffected by c1's breaker.
+	reach2, ok := m.Query(paths[1].ID, metrics.Reachability)
+	if !ok || !reach2.Reached() {
+		t.Fatalf("healthy path reachability = %v (ok=%v)", reach2, ok)
+	}
+}
+
+func TestShedStretchesPollIntervalUnderFleetFailure(t *testing.T) {
+	// When most of the fleet stops answering, the director sheds load by
+	// stretching its poll cadence rather than adding traffic to a network
+	// that is already failing.
+	k := sim.NewKernel()
+	defer k.Close()
+	h := topo.BuildHiPerD(k, 1)
+	m := New(h.Mgmt, "public", time.Second)
+	m.EnableResilience(resilience.BreakerConfig{FailThreshold: 1, OpenFor: 30 * time.Second},
+		nil, 600*time.Millisecond)
+	paths := core.CrossProductPaths(h.ServerRefs()[:1], h.ClientRefs())
+	m.Submit(core.Request{Paths: paths, Metrics: []metrics.Metric{metrics.Reachability}})
+	m.Start()
+	k.At(2*time.Second, func() {
+		for _, c := range h.Clients {
+			c.SetUp(false)
+		}
+	})
+	k.RunUntil(20 * time.Second)
+	if m.RStats.ShedSweeps == 0 {
+		t.Fatal("fleet-wide failure never triggered load shedding")
+	}
+	if frac := m.Breakers.OpenFraction(k.Now()); frac < 0.5 {
+		t.Fatalf("open fraction = %v, want >= 0.5 with all clients dead", frac)
 	}
 }

@@ -1,5 +1,5 @@
 // Package experiments regenerates every quantitative claim of the paper's
-// evaluation as a table: the E1–E11 index in DESIGN.md maps each function
+// evaluation as a table: the E1–E12 index in DESIGN.md maps each function
 // here to the section of the paper it reproduces. Each experiment accepts a
 // quick flag (shorter virtual runs for benchmarks) and returns a
 // report.Table; cmd/experiments prints them all.
@@ -35,6 +35,7 @@ func All() []Experiment {
 		{"E9", "Standard MIB coverage of TCP connection state", E9},
 		{"E10", "Scalability: overhead and senescence vs system size", E10},
 		{"E11", "Background liveness polling: latency vs overhead", E11},
+		{"E12", "Resilience layer under chaos: latency, staleness, waste", E12},
 		{"A1", "Ablation: trap vs inform delivery under load", A1},
 		{"A2", "Ablation: test sequencer concurrency frontier", A2},
 		{"A3", "Ablation: GetNext walk vs GetBulk retrieval", A3},

@@ -21,6 +21,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/nttcp"
+	"repro/internal/resilience"
 	"repro/internal/sim"
 )
 
@@ -37,6 +38,15 @@ type Monitor struct {
 	// SweepInterval pauses between full sweeps of the path list; zero
 	// means continuous monitoring.
 	SweepInterval time.Duration
+
+	// Breakers, when non-nil, holds per-host circuit breakers shared with
+	// (or private to) this monitor: the sequencer skips paths whose
+	// endpoints' breakers are open instead of burning a full NTTCP test
+	// window on a host already known dead, and feeds reachability results
+	// back into the breakers.
+	Breakers *resilience.BreakerSet
+	// SkippedPaths counts measurements fast-failed by an open breaker.
+	SkippedPaths uint64
 
 	// Sweeps counts completed passes over the path list; SweepTime is the
 	// duration of the last complete sweep (C·S·T for the sequencer).
@@ -118,6 +128,11 @@ func (m *Monitor) Start() {
 			m.SweepTime = p.Now() - start
 			if m.SweepInterval > 0 {
 				p.Sleep(m.SweepInterval)
+			} else if m.SweepTime == 0 {
+				// Every path fast-failed (open breakers): the sweep consumed
+				// no virtual time, so yielding would spin the collector at a
+				// single instant forever. Pace it at a nominal beat instead.
+				p.Sleep(10 * time.Millisecond)
 			} else {
 				p.Yield()
 			}
@@ -208,7 +223,26 @@ func (m *Monitor) measurePath(p *sim.Proc, path core.Path, wanted []metrics.Metr
 	if cli == nil {
 		return failAll(path.ID, wanted, p.Now(), "no server simulator on "+string(from))
 	}
+	if m.Breakers != nil {
+		if open, host := m.breakerBlocks(p.Now(), from, to); open {
+			// Fast-fail: report the path unreachable without spending the
+			// NTTCP test window; the breaker's half-open probe (or another
+			// monitor sharing the set) will re-admit the host later.
+			m.SkippedPaths++
+			return m.fastFail(path.ID, wanted, p.Now(), host)
+		}
+	}
 	res, err := cli.Measure(p, to, 0)
+	if m.Breakers != nil {
+		if res.Reached {
+			m.Breakers.For(string(from)).Success(p.Now())
+			m.Breakers.For(string(to)).Success(p.Now())
+		} else {
+			// Only the far endpoint is implicated: the near side sourced
+			// the probe traffic, so silence says nothing about it.
+			m.Breakers.For(string(to)).Failure(p.Now())
+		}
+	}
 	m.TrafficBytes += res.OverheadBytes
 	now := p.Now()
 	out := make([]core.Measurement, 0, len(wanted))
@@ -233,6 +267,33 @@ func (m *Monitor) measurePath(p *sim.Proc, path core.Path, wanted []metrics.Metr
 			} else {
 				meas.Value = res.OneWayLatency.Seconds()
 			}
+		}
+		out = append(out, meas)
+	}
+	return out
+}
+
+// breakerBlocks reports whether either endpoint's breaker denies admission
+// at time now, and which host tripped first.
+func (m *Monitor) breakerBlocks(now time.Duration, from, to netsim.Addr) (bool, netsim.Addr) {
+	if !m.Breakers.For(string(from)).Allow(now) {
+		return true, from
+	}
+	if !m.Breakers.For(string(to)).Allow(now) {
+		return true, to
+	}
+	return false, ""
+}
+
+// fastFail builds the measurement set for a breaker-skipped path:
+// reachability is a successful observation of value 0 (the breaker's
+// knowledge is the observation); other metrics are errors.
+func (m *Monitor) fastFail(id core.PathID, wanted []metrics.Metric, now time.Duration, host netsim.Addr) []core.Measurement {
+	out := make([]core.Measurement, 0, len(wanted))
+	for _, metric := range wanted {
+		meas := core.Measurement{Path: id, Metric: metric, TakenAt: now, Quality: core.QualityDirect}
+		if metric != metrics.Reachability {
+			meas.Err = "resilience: circuit open to " + string(host)
 		}
 		out = append(out, meas)
 	}

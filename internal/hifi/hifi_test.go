@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/nttcp"
+	"repro/internal/resilience"
 	"repro/internal/sim"
 	"repro/internal/topo"
 )
@@ -362,5 +363,73 @@ func TestStartIdempotentAndEmptyRequest(t *testing.T) {
 	k.RunUntil(2 * time.Second)
 	if m.Sweeps != 0 {
 		t.Fatalf("sweeps with no request = %d", m.Sweeps)
+	}
+}
+
+func TestBreakerSkipsPathsToDeadHost(t *testing.T) {
+	// With the resilience layer on, a host that stops answering trips its
+	// breaker after FailThreshold sweeps; from then on the sequencer
+	// fast-fails its paths (reachability 0, no NTTCP window burned)
+	// until the half-open probe finds it alive again.
+	k := sim.NewKernel()
+	defer k.Close()
+	h := topo.BuildHiPerD(k, 1)
+	m := New(h.Mgmt, smallCfg(), 1)
+	m.Breakers = resilience.NewBreakerSet(resilience.BreakerConfig{
+		FailThreshold: 1, OpenFor: 3 * time.Second,
+	})
+	path := core.NewPath(h.ServerRefs()[0], h.ClientRefs()[0])
+	m.Submit(core.Request{Paths: []core.Path{path}, Metrics: allMetrics})
+	m.Start()
+	h.Net.Node("c1").SetUp(false)
+	k.RunUntil(10 * time.Second)
+	if m.SkippedPaths == 0 {
+		t.Fatal("no path measurements were fast-failed by the breaker")
+	}
+	br := m.Breakers.For("c1")
+	if br.Stats.Opens == 0 || br.Stats.FastFails == 0 {
+		t.Fatalf("breaker never engaged: %+v", br.Stats)
+	}
+	// A skipped path must still read as a successful reachability-0
+	// observation, with the other metrics failed, not silent.
+	meas, ok := m.Query(path.ID, metrics.Reachability)
+	if !ok || !meas.OK() || meas.Value != 0 {
+		t.Fatalf("reachability under open breaker = %v (ok=%v)", meas, ok)
+	}
+	if tp, ok := m.Query(path.ID, metrics.Throughput); !ok || tp.OK() {
+		t.Fatalf("throughput under open breaker = %v (ok=%v), want error", tp, ok)
+	}
+}
+
+func TestBreakerRecoversWhenHostReturns(t *testing.T) {
+	// The half-open probe must re-admit a restored host: reachability goes
+	// 1 -> 0 -> 1 across the outage, and the breaker records a close.
+	k := sim.NewKernel()
+	defer k.Close()
+	h := topo.BuildHiPerD(k, 1)
+	m := New(h.Mgmt, smallCfg(), 1)
+	m.SweepInterval = 500 * time.Millisecond
+	m.Breakers = resilience.NewBreakerSet(resilience.BreakerConfig{
+		FailThreshold: 1, OpenFor: 2 * time.Second,
+	})
+	path := core.NewPath(h.ServerRefs()[0], h.ClientRefs()[0])
+	m.Submit(core.Request{Paths: []core.Path{path}, Metrics: []metrics.Metric{metrics.Reachability}})
+	m.Start()
+	k.At(4*time.Second, func() { h.Net.Node("c1").SetUp(false) })
+	k.At(10*time.Second, func() { h.Net.Node("c1").SetUp(true) })
+	k.RunUntil(20 * time.Second)
+	var phases []float64
+	m.DB.EachHistory(path.ID, metrics.Reachability, 0, func(ms core.Measurement) bool {
+		if len(phases) == 0 || phases[len(phases)-1] != ms.Value {
+			phases = append(phases, ms.Value)
+		}
+		return true
+	})
+	want := []float64{1, 0, 1}
+	if len(phases) != len(want) {
+		t.Fatalf("reachability phases = %v, want %v", phases, want)
+	}
+	if br := m.Breakers.For("c1"); br.Stats.Closes == 0 {
+		t.Fatalf("breaker never closed after recovery: %+v", br.Stats)
 	}
 }

@@ -34,6 +34,11 @@ type Policy struct {
 	// placement pools for this long, so a flapping host is not
 	// immediately reused.
 	HostCooldown time.Duration
+	// MaxStaleness, when > 0, bounds how old a database sample may be
+	// before the manager refuses to act on it: stale data is treated as
+	// missing, not as evidence of health (or of failure). Zero preserves
+	// the legacy trust-anything behavior.
+	MaxStaleness time.Duration
 }
 
 func (p Policy) withDefaults() Policy {
@@ -80,6 +85,10 @@ type Manager struct {
 
 	// Reconfigs is the decision log.
 	Reconfigs []Reconfig
+	// StaleReads counts queries whose answer was rejected as stale under
+	// Policy.MaxStaleness — each one is a decision the manager declined to
+	// base on senescent data.
+	StaleReads uint64
 
 	host       *netsim.Node
 	mon        core.Monitor
@@ -275,11 +284,37 @@ func (m *Manager) evaluate(p *sim.Proc, roleFrom, roleTo string) {
 	}
 }
 
+// query reads one current value, applying the Policy.MaxStaleness gate:
+// a sample older than the bound (or one the monitor's senescence watchdog
+// has marked stale) reports ok=false, exactly as if never recorded.
+// Monitors implementing core.FreshQuerier get the database-side check
+// (which also sees watchdog marks); others fall back to an age test on
+// the sample's TakenAt.
+func (m *Manager) query(id core.PathID, metric metrics.Metric) (core.Measurement, bool) {
+	meas, ok := m.mon.Query(id, metric)
+	if !ok || m.Policy.MaxStaleness <= 0 {
+		return meas, ok
+	}
+	now := m.host.Network().K.Now()
+	if fq, isFresh := m.mon.(core.FreshQuerier); isFresh {
+		if fresh, fok := fq.QueryFresh(id, metric, now, m.Policy.MaxStaleness); fok {
+			return fresh, true
+		}
+		m.StaleReads++
+		return core.Measurement{}, false
+	}
+	if now-meas.TakenAt > m.Policy.MaxStaleness {
+		m.StaleReads++
+		return core.Measurement{}, false
+	}
+	return meas, true
+}
+
 // pathViolates checks the current database values for one path against the
 // policy. have is false when no data exists yet.
 func (m *Manager) pathViolates(id core.PathID) (bad, have bool) {
 	if m.Policy.RequireReachable {
-		r, ok := m.mon.Query(id, metrics.Reachability)
+		r, ok := m.query(id, metrics.Reachability)
 		if ok {
 			have = true
 			if !r.Reached() {
@@ -288,7 +323,7 @@ func (m *Manager) pathViolates(id core.PathID) (bad, have bool) {
 		}
 	}
 	if m.Policy.MinThroughputBps > 0 {
-		tp, ok := m.mon.Query(id, metrics.Throughput)
+		tp, ok := m.query(id, metrics.Throughput)
 		if ok && tp.OK() {
 			have = true
 			if tp.Value < m.Policy.MinThroughputBps {
@@ -300,7 +335,7 @@ func (m *Manager) pathViolates(id core.PathID) (bad, have bool) {
 		}
 	}
 	if m.Policy.MaxLatency > 0 {
-		lat, ok := m.mon.Query(id, metrics.OneWayLatency)
+		lat, ok := m.query(id, metrics.OneWayLatency)
 		if ok && lat.OK() {
 			have = true
 			if lat.Value > m.Policy.MaxLatency.Seconds() {

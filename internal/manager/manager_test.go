@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/cots"
 	"repro/internal/hifi"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
@@ -250,5 +251,51 @@ func TestLatencyPolicyViolation(t *testing.T) {
 		if pl.Incarnation != 0 {
 			t.Fatalf("unsatisfiable policy caused thrash: %+v", pl)
 		}
+	}
+}
+
+func TestStaleDataTreatedAsMissingNotHealthy(t *testing.T) {
+	// A monitor that stops refreshing a path must not keep the manager
+	// believing the path is healthy forever: with MaxStaleness set, an
+	// aging "reachable" sample stops counting, and with the monitor's
+	// senescence watchdog running the database itself reports it stale.
+	k := sim.NewKernel()
+	defer k.Close()
+	h := topo.BuildHiPerD(k, 1)
+	mon := cots.New(h.Mgmt, "public", 500*time.Millisecond)
+	mgr := New(h.Mgmt, mon, Policy{
+		RequireReachable: true,
+		Grace:            2,
+		EvalInterval:     time.Second,
+		MaxStaleness:     2 * time.Second,
+	})
+	mgr.DefinePool("server", []netsim.Addr{"s1", "s2"})
+	mgr.DefinePool("client", []netsim.Addr{"c1"})
+	if _, err := mgr.Place("rtds", "server"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.Place("disp", "client"); err != nil {
+		t.Fatal(err)
+	}
+	mon.Start()
+	mgr.Start("server", "client")
+	wd := mon.StartSenescenceWatchdog(k, 500*time.Millisecond, 2*time.Second)
+	defer wd.Stop()
+
+	// Freeze collection at 5s without killing any host: the last sample
+	// says "reachable" but only grows older from here on.
+	k.At(5*time.Second, func() { mon.Stop() })
+	k.RunUntil(15 * time.Second)
+
+	if mgr.StaleReads == 0 {
+		t.Fatal("manager never rejected a stale sample")
+	}
+	if mon.DB.StaleCount() == 0 {
+		t.Fatal("watchdog marked nothing stale after collection froze")
+	}
+	// Crucially, stale data is missing data, not a violation: no failover
+	// may be triggered on age alone.
+	if len(mgr.Reconfigs) != 0 {
+		t.Fatalf("staleness alone caused reconfiguration: %v", mgr.Reconfigs)
 	}
 }

@@ -1,0 +1,143 @@
+package resilience
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func TestBackoffExponentialCapped(t *testing.T) {
+	b := NewBackoff(nil, 50*time.Millisecond, 400*time.Millisecond, 0)
+	want := []time.Duration{50 * time.Millisecond, 100 * time.Millisecond,
+		200 * time.Millisecond, 400 * time.Millisecond, 400 * time.Millisecond}
+	for i, w := range want {
+		if got := b.Delay(i); got != w {
+			t.Fatalf("Delay(%d) = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestBackoffNilAndZeroAreImmediate(t *testing.T) {
+	var b *Backoff
+	if b.Delay(3) != 0 {
+		t.Fatal("nil backoff must be immediate")
+	}
+	if (&Backoff{}).Delay(0) != 0 {
+		t.Fatal("zero backoff must be immediate")
+	}
+}
+
+func TestBackoffJitterDeterministic(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Close()
+	mk := func() *Backoff {
+		return NewBackoff(k.Rand(7), 100*time.Millisecond, time.Second, 0.5)
+	}
+	a, b := mk(), mk()
+	for i := 0; i < 8; i++ {
+		da, db := a.Delay(i), b.Delay(i)
+		if da != db {
+			t.Fatalf("jitter nondeterministic at %d: %v vs %v", i, da, db)
+		}
+		base := NewBackoff(nil, 100*time.Millisecond, time.Second, 0).Delay(i)
+		lo := time.Duration(float64(base) * 0.75)
+		hi := time.Duration(float64(base) * 1.25)
+		if da < lo || da > hi {
+			t.Fatalf("Delay(%d) = %v outside jitter band [%v, %v]", i, da, lo, hi)
+		}
+	}
+}
+
+func TestBreakerLifecycle(t *testing.T) {
+	b := NewBreaker(BreakerConfig{FailThreshold: 2, OpenFor: 5 * time.Second})
+	now := time.Duration(0)
+	if !b.Allow(now) || b.State(now) != Closed {
+		t.Fatal("new breaker must be closed")
+	}
+	// One failure keeps it closed; the second opens it.
+	b.Failure(now)
+	if b.State(now) != Closed || !b.Allow(now) {
+		t.Fatal("opened below threshold")
+	}
+	b.Failure(now)
+	if b.State(now) != Open {
+		t.Fatalf("state = %v after threshold failures", b.State(now))
+	}
+	// Fast-fail while open.
+	if b.Allow(now + time.Second) {
+		t.Fatal("open breaker allowed a call inside OpenFor")
+	}
+	if b.Stats.FastFails != 1 || b.Stats.Opens != 1 {
+		t.Fatalf("stats = %+v", b.Stats)
+	}
+	// After OpenFor a probe is due.
+	now += 5 * time.Second
+	if b.State(now) != HalfOpen {
+		t.Fatal("probe not due after OpenFor")
+	}
+	if !b.Allow(now) {
+		t.Fatal("half-open probe denied")
+	}
+	// Second caller during the in-flight probe fast-fails.
+	if b.Allow(now) {
+		t.Fatal("second probe admitted while one is in flight")
+	}
+	// Failed probe reopens for a fresh window.
+	b.Failure(now)
+	if b.State(now) != Open || b.Allow(now+time.Second) {
+		t.Fatal("failed probe did not reopen")
+	}
+	// Successful probe after the next window closes it.
+	now += 5 * time.Second
+	if !b.Allow(now) {
+		t.Fatal("second probe denied")
+	}
+	b.Success(now)
+	if b.State(now) != Closed || !b.Allow(now) {
+		t.Fatal("successful probe did not close")
+	}
+	if b.Stats.Closes != 1 || b.Stats.Probes != 2 {
+		t.Fatalf("stats = %+v", b.Stats)
+	}
+}
+
+func TestBreakerConsecutiveFailureCounterResets(t *testing.T) {
+	b := NewBreaker(BreakerConfig{FailThreshold: 3, OpenFor: time.Second})
+	for i := 0; i < 10; i++ {
+		b.Failure(0)
+		b.Failure(0)
+		b.Success(0) // interleaved success: never three in a row
+	}
+	if b.State(0) != Closed {
+		t.Fatal("non-consecutive failures opened the breaker")
+	}
+}
+
+func TestBreakerSetSharedConfigAndAggregation(t *testing.T) {
+	s := NewBreakerSet(BreakerConfig{FailThreshold: 1, OpenFor: time.Second})
+	if s.Len() != 0 || s.OpenFraction(0) != 0 {
+		t.Fatal("empty set not neutral")
+	}
+	s.For("a").Failure(0)
+	s.For("b")
+	s.For("c")
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if got := s.OpenFraction(0); got < 0.33 || got > 0.34 {
+		t.Fatalf("OpenFraction = %v, want 1/3", got)
+	}
+	if s.For("a") != s.For("a") {
+		t.Fatal("For not stable")
+	}
+	s.For("a").Allow(0) // fast-fail
+	if st := s.Stats(); st.Opens != 1 || st.FastFails != 1 {
+		t.Fatalf("aggregate stats = %+v", st)
+	}
+	var order []string
+	s.Each(func(target string, _ *Breaker) { order = append(order, target) })
+	if len(order) != 3 || order[0] != "a" || order[1] != "b" || order[2] != "c" {
+		t.Fatalf("Each order = %v", order)
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/mib"
 	"repro/internal/netsim"
+	"repro/internal/resilience"
 	"repro/internal/sim"
 )
 
@@ -30,6 +31,16 @@ type Client struct {
 	Version   Version
 	Timeout   time.Duration
 	Retries   int
+	// Backoff, when non-nil, replaces the immediate retransmit with an
+	// exponential-backoff schedule: retry n sleeps Backoff.Delay(n-1)
+	// before going back on the wire, so a congested segment is not
+	// hammered at a fixed cadence.
+	Backoff *resilience.Backoff
+	// Budget, when > 0, caps the total virtual time one request may spend
+	// across all attempts (listen windows and backoff waits included) — a
+	// per-request deadline so a dead agent costs a bounded slice of the
+	// sweep, not Timeout·(Retries+1).
+	Budget time.Duration
 
 	Stats ClientStats
 
@@ -61,14 +72,30 @@ func (c *Client) request(p *sim.Proc, agent netsim.Addr, port netsim.Port, pdu P
 	pdu.RequestID = c.reqID
 	msg := &Message{Version: c.Version, Community: c.Community, PDU: pdu}
 	b := msg.Encode()
+	hard := time.Duration(-1) // absolute per-request deadline, <0 = none
+	if c.Budget > 0 {
+		hard = p.Now() + c.Budget
+	}
 	for attempt := 0; attempt <= c.Retries; attempt++ {
 		if attempt > 0 {
+			if wait := c.Backoff.Delay(attempt - 1); wait > 0 {
+				if hard >= 0 && p.Now()+wait >= hard {
+					break // budget would expire mid-wait: give up now
+				}
+				p.Sleep(wait)
+			}
 			c.Stats.Retries++
+		}
+		if hard >= 0 && p.Now() >= hard {
+			break
 		}
 		c.Stats.Requests++
 		c.Stats.BytesSent += uint64(len(b))
 		c.sock.SendTo(agent, port, b)
 		deadline := p.Now() + c.Timeout
+		if hard >= 0 && deadline > hard {
+			deadline = hard
+		}
 		for {
 			remain := deadline - p.Now()
 			if remain <= 0 {

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/mib"
 	"repro/internal/netsim"
+	"repro/internal/resilience"
 	"repro/internal/sim"
 )
 
@@ -31,6 +32,11 @@ type Notifier struct {
 	Community string
 	Timeout   time.Duration
 	Retries   int
+	// Backoff, when non-nil, spaces retransmissions of an unacked inform
+	// by an exponential schedule instead of firing them back-to-back —
+	// under the very congestion that lost the first copy, an immediate
+	// retransmit is the worst possible timing.
+	Backoff *resilience.Backoff
 
 	Stats NotifierStats
 
@@ -65,6 +71,11 @@ func (n *Notifier) Inform(p *sim.Proc, binds []VarBind) error {
 	msg.PDU = PDU{Type: InformRequest, RequestID: n.reqID, VarBinds: binds}
 	b := msg.Encode()
 	for attempt := 0; attempt <= n.Retries; attempt++ {
+		if attempt > 0 {
+			if wait := n.Backoff.Delay(attempt - 1); wait > 0 {
+				p.Sleep(wait)
+			}
+		}
 		n.Stats.Sent++
 		n.sock.SendTo(n.dst, n.port, b)
 		deadline := p.Now() + n.Timeout
