@@ -1,9 +1,13 @@
 # Tier-1 gate: `make ci` must stay green on every PR.
 GO ?= go
 
-.PHONY: ci vet build test race analyze fuzz-smoke bench-smoke bench experiments
+# Coverage ratchet: ./internal/... statement coverage must stay at or above
+# this floor. Raise it when coverage rises; never lower it to make a PR pass.
+COVER_FLOOR ?= 85.0
 
-ci: vet build test race analyze fuzz-smoke bench-smoke
+.PHONY: ci vet build test race analyze fuzz-smoke bench-smoke bench-check cover bench experiments
+
+ci: vet build test race analyze fuzz-smoke bench-smoke bench-check
 
 vet:
 	$(GO) vet ./...
@@ -28,10 +32,24 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzBERRoundTrip$$' -fuzztime 3s ./internal/asn1ber
 	$(GO) test -run '^$$' -fuzz '^FuzzMessageRoundTrip$$' -fuzztime 3s ./internal/snmp
 
-# One iteration of every benchmark — catches bit-rot without the cost of a
-# full measurement run.
+# One iteration of every benchmark, package by package, failing loudly per
+# broken package (see scripts/bench_smoke.sh).
 bench-smoke:
-	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+	scripts/bench_smoke.sh
+
+# Perf-regression gate: re-run the kernel/database micro-benchmarks and fail
+# if any ns/op regresses more than 25% against the committed baseline
+# (BENCH_kernel.json). Writes the fresh run to BENCH_fresh.json.
+bench-check:
+	scripts/bench_compare.sh
+
+# Statement coverage across ./internal/..., gated on COVER_FLOOR.
+cover:
+	$(GO) test -coverprofile=coverage.out ./internal/...
+	@total=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
+	echo "coverage: $$total% (floor $(COVER_FLOOR)%)"; \
+	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t + 0 >= f + 0) ? 0 : 1 }' || \
+	{ echo "coverage $$total% fell below the $(COVER_FLOOR)% floor" >&2; exit 1; }
 
 # Full measurement run; writes BENCH_kernel.json (see scripts/bench.sh).
 bench:

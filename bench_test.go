@@ -65,6 +65,9 @@ func BenchmarkE11LivenessPolling(b *testing.B) { benchExperiment(b, "E11") }
 // BenchmarkE12Resilience regenerates the chaos-vs-resilience table.
 func BenchmarkE12Resilience(b *testing.B) { benchExperiment(b, "E12") }
 
+// BenchmarkE13Telemetry regenerates the self-telemetry observer-effect table.
+func BenchmarkE13Telemetry(b *testing.B) { benchExperiment(b, "E13") }
+
 // BenchmarkA1TrapVsInform regenerates the notification-mechanism ablation.
 func BenchmarkA1TrapVsInform(b *testing.B) { benchExperiment(b, "A1") }
 

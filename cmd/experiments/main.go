@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -22,7 +23,17 @@ func main() {
 	markdown := flag.Bool("markdown", false, "emit markdown tables")
 	list := flag.Bool("list", false, "list experiments and exit")
 	workers := flag.Int("j", runtime.NumCPU(), "experiments to run concurrently")
+	telem := flag.String("telemetry", "", "instead of tables, run the instrumented chaos scenario and dump its self-telemetry (text | json)")
 	flag.Parse()
+
+	if *telem != "" {
+		reg, tracer := experiments.CollectTelemetry(*quick)
+		if err := exportTelemetry(os.Stdout, *telem, reg, tracer); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(2)
+		}
+		return
+	}
 
 	all := experiments.All()
 	if *list {
@@ -53,5 +64,32 @@ func main() {
 			fmt.Print(r.Table.String())
 		}
 		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", r.Experiment.ID, r.Elapsed.Round(time.Millisecond))
+	}
+}
+
+// exportTelemetry writes the registry and trace in the requested format:
+// "text" as instrument lines followed by the indented span tree, "json" as
+// one {"instruments": [...], "spans": [...]} object.
+func exportTelemetry(w *os.File, format string, reg *telemetry.Registry, tracer *telemetry.Tracer) error {
+	switch format {
+	case "text":
+		if err := reg.WriteText(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+		return tracer.WriteText(w)
+	case "json":
+		fmt.Fprint(w, "{\"instruments\": ")
+		if err := reg.WriteJSON(w); err != nil {
+			return err
+		}
+		fmt.Fprint(w, ", \"spans\": ")
+		if err := tracer.WriteJSON(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "}")
+		return nil
+	default:
+		return fmt.Errorf("unknown -telemetry format %q (use text or json)", format)
 	}
 }

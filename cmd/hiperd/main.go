@@ -23,6 +23,7 @@ import (
 	"repro/internal/report"
 	"repro/internal/rtds"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/topo"
 )
 
@@ -31,7 +32,12 @@ func main() {
 	fail := flag.String("fail", "s2", "host to fail")
 	failAt := flag.Duration("failat", 10*time.Second, "failure time")
 	duration := flag.Duration("duration", 40*time.Second, "virtual time to run")
+	telem := flag.String("telemetry", "", "dump the stack's self-telemetry after the run (text | json)")
 	flag.Parse()
+	if *telem != "" && *telem != "text" && *telem != "json" {
+		fmt.Fprintf(os.Stderr, "hiperd: unknown -telemetry format %q (use text or json)\n", *telem)
+		os.Exit(2)
+	}
 
 	k := sim.NewKernel()
 	defer k.Close()
@@ -72,6 +78,18 @@ func main() {
 		fmt.Fprintf(os.Stderr, "hiperd: unknown monitor %q\n", *monImpl)
 		os.Exit(2)
 	}
+	// Self-telemetry: every monitor implementation exposes the same
+	// EnableTelemetry hook; -telemetry instruments the whole stack.
+	var reg *telemetry.Registry
+	var tracer *telemetry.Tracer
+	if *telem != "" {
+		reg = telemetry.NewRegistry()
+		tracer = telemetry.NewTracer(*monImpl, 2048)
+		type telemetric interface {
+			EnableTelemetry(*telemetry.Registry, *telemetry.Tracer)
+		}
+		mon.(telemetric).EnableTelemetry(reg, tracer)
+	}
 	type startable interface{ Start() }
 	mon.(startable).Start()
 
@@ -79,6 +97,9 @@ func main() {
 	mgr := manager.New(h.Mgmt, mon, manager.Policy{
 		RequireReachable: true, Grace: 2, EvalInterval: time.Second,
 	})
+	if reg != nil {
+		mgr.EnableTelemetry(reg, "manager")
+	}
 	mgr.DefinePool("server", []netsim.Addr{"s1", "s2", "s3", "w-fddi-1", "w-fddi-2", "w-fddi-3"})
 	mgr.DefinePool("client", []netsim.Addr{"c1", "c2", "c3", "c4", "c5", "c6", "c7", "c8", "c9"})
 	for i := 1; i <= 3; i++ {
@@ -158,4 +179,17 @@ func main() {
 		Series: []report.Series{timeline},
 	}
 	fmt.Print(chart.String())
+
+	if *telem == "text" {
+		fmt.Println("\n--- self-telemetry ---")
+		reg.WriteText(os.Stdout)
+		fmt.Println()
+		tracer.WriteText(os.Stdout)
+	} else if *telem == "json" {
+		fmt.Print("{\"instruments\": ")
+		reg.WriteJSON(os.Stdout)
+		fmt.Print(", \"spans\": ")
+		tracer.WriteJSON(os.Stdout)
+		fmt.Println("}")
+	}
 }

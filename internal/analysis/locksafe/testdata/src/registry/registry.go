@@ -1,0 +1,33 @@
+// Package registry is a fixture mirroring the telemetry registry: map
+// registration under a mutex is fine, but the lock must never be held
+// across a scheduler yield point.
+package registry
+
+import (
+	"sync"
+
+	"sim"
+)
+
+type registry struct {
+	mu    sync.Mutex
+	names map[string]int
+}
+
+// register is the sanctioned shape: lock, touch the map, unlock — no yield.
+func (r *registry) register(name string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if id, ok := r.names[name]; ok {
+		return id
+	}
+	id := len(r.names)
+	r.names[name] = id
+	return id
+}
+
+func badExportDuringRun(r *registry, p *sim.Proc) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p.Sleep(10) // want `sim yield point Sleep called while holding r\.mu`
+}

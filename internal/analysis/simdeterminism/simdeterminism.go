@@ -46,6 +46,7 @@ var simPackages = map[string]bool{
 	"manager": true, "flowmeter": true, "rstream": true, "topo": true,
 	"vclock": true, "mib": true, "snmp": true, "nttcp": true, "core": true,
 	"metrics": true, "report": true, "integration": true, "resilience": true,
+	"telemetry": true,
 }
 
 // wallClockFuncs are the package-time functions that touch the wall clock.

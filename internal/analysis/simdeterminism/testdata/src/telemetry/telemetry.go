@@ -1,0 +1,23 @@
+// Package telemetry is a fixture mirroring the self-measurement layer: its
+// instruments take virtual time from the caller, so any wall-clock read or
+// global-rand draw inside the package is a determinism bug.
+package telemetry
+
+import (
+	"math/rand"
+	"time"
+)
+
+type span struct{ start, end time.Duration }
+
+// beginAt is the sanctioned shape: virtual time flows in explicitly.
+func beginAt(now time.Duration) span { return span{start: now, end: -1} }
+
+func badBegin() span {
+	now := time.Duration(time.Now().UnixNano()) // want `time\.Now reads the wall clock`
+	return span{start: now, end: -1}
+}
+
+func badSampleJitter(s *span) {
+	s.end = s.start + time.Duration(rand.Int63n(1000)) // want `rand\.Int63n draws from the process-global source`
+}

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/telemetry"
 )
 
 // DefaultHistoryDepth is how many samples the database retains per
@@ -21,7 +22,7 @@ type dbSeries struct {
 	current   Measurement
 	lastKnown Measurement
 	hasLast   bool
-	stale     bool // marked by MarkStale; cleared by the next Record
+	stale     bool          // marked by MarkStale; cleared by the next Record
 	ring      []Measurement // fixed capacity == history depth
 	head      int           // index of the oldest retained sample
 	count     int           // retained samples, <= len(ring)
@@ -43,11 +44,28 @@ type Database struct {
 	// StaleMarked counts series marked stale by MarkStale over the
 	// database's lifetime (the senescence watchdog's intervention count).
 	StaleMarked uint64
+
+	// Telemetry instrument handles (nil = disabled); see EnableTelemetry.
+	telRecords    *telemetry.Counter
+	telStaleMarks *telemetry.Counter
+	telFreshHits  *telemetry.Counter
+	telFreshMiss  *telemetry.Counter
 }
 
 // NewDatabase returns an empty store.
 func NewDatabase() *Database {
 	return &Database{series: make(map[dbKey]*dbSeries)}
+}
+
+// EnableTelemetry registers the database's instruments under prefix:
+// records stored, series marked stale by the watchdog, and the hit/miss
+// split of senescence-gated Fresh queries (the live fresh-query hit rate).
+// A nil registry leaves the database uninstrumented.
+func (db *Database) EnableTelemetry(reg *telemetry.Registry, prefix string) {
+	db.telRecords = reg.Counter(prefix + ".records")
+	db.telStaleMarks = reg.Counter(prefix + ".stale_marks")
+	db.telFreshHits = reg.Counter(prefix + ".fresh_hits")
+	db.telFreshMiss = reg.Counter(prefix + ".fresh_misses")
 }
 
 // Record stores a measurement as the current value, updates last-known on
@@ -78,6 +96,7 @@ func (db *Database) Record(m Measurement) {
 		s.head = (s.head + 1) % len(s.ring)
 	}
 	db.Records++
+	db.telRecords.Inc()
 }
 
 // Current returns the latest sample for the series.
@@ -188,11 +207,14 @@ func (db *Database) Stale(path PathID, metric metrics.Metric) bool {
 func (db *Database) Fresh(now time.Duration, path PathID, metric metrics.Metric, ttl time.Duration) (Measurement, bool) {
 	s := db.series[dbKey{path, metric}]
 	if s == nil || s.stale {
+		db.telFreshMiss.Inc()
 		return Measurement{}, false
 	}
 	if ttl > 0 && now-s.current.TakenAt > ttl {
+		db.telFreshMiss.Inc()
 		return Measurement{}, false
 	}
+	db.telFreshHits.Inc()
 	return s.current, true
 }
 
@@ -209,6 +231,7 @@ func (db *Database) MarkStale(now, ttl time.Duration) int {
 		}
 	}
 	db.StaleMarked += uint64(marked)
+	db.telStaleMarks.Add(uint64(marked))
 	return marked
 }
 

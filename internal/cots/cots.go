@@ -31,6 +31,7 @@ import (
 	"repro/internal/rmon"
 	"repro/internal/sim"
 	"repro/internal/snmp"
+	"repro/internal/telemetry"
 )
 
 // ResilienceStats counts the resilience layer's interventions.
@@ -73,6 +74,16 @@ type Monitor struct {
 	RStats ResilienceStats
 	// Sweeps counts completed poll sweeps.
 	Sweeps int
+
+	// Telemetry instrument handles (nil = disabled); see EnableTelemetry.
+	telReg          *telemetry.Registry
+	tracer          *telemetry.Tracer
+	telSweeps       *telemetry.Counter
+	telFastFails    *telemetry.Counter
+	telShedSweeps   *telemetry.Counter
+	telOpenFraction *telemetry.Gauge
+	telSweepSec     *telemetry.Histogram
+	telPollRTT      *telemetry.Histogram
 
 	host       *netsim.Node
 	nw         *netsim.Network
@@ -133,6 +144,36 @@ func (m *Monitor) EnableResilience(cfg resilience.BreakerConfig, backoff *resili
 	}
 	if m.ShedFactor < 1 {
 		m.ShedFactor = 2
+	}
+	if m.telReg != nil {
+		// Telemetry was enabled first: instrument the new layer too.
+		m.Breakers.EnableTelemetry(m.telReg, "cots.breaker")
+		m.Client.Backoff.EnableTelemetry(m.telReg, "cots.backoff")
+	}
+}
+
+// EnableTelemetry registers the director's self-measurement instruments
+// under the "cots." prefix and records each sweep as a trace span with one
+// child span per host poll (tr may be nil to skip tracing). It also
+// instruments the SNMP client, the measurement database, and — when the
+// resilience layer is on, in either call order — the breakers and backoff.
+// The §4.3 intrusiveness and fidelity questions become live reads: the
+// breaker open-fraction gauge, the poll RTT histogram, and the fresh-query
+// hit rate.
+func (m *Monitor) EnableTelemetry(reg *telemetry.Registry, tr *telemetry.Tracer) {
+	m.telReg = reg
+	m.tracer = tr
+	m.telSweeps = reg.Counter("cots.sweeps")
+	m.telFastFails = reg.Counter("cots.fast_failed_polls")
+	m.telShedSweeps = reg.Counter("cots.shed_sweeps")
+	m.telOpenFraction = reg.Gauge("cots.breaker_open_fraction")
+	m.telSweepSec = reg.Histogram("cots.sweep_s", []float64{0.01, 0.05, 0.1, 0.5, 1, 5})
+	m.telPollRTT = reg.Histogram("cots.poll_rtt_s", []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5})
+	m.Client.EnableTelemetry(reg, "cots.snmp")
+	m.DB.EnableTelemetry(reg, "cots.db")
+	if m.Breakers != nil {
+		m.Breakers.EnableTelemetry(reg, "cots.breaker")
+		m.Client.Backoff.EnableTelemetry(reg, "cots.backoff")
 	}
 }
 
@@ -199,6 +240,7 @@ func (m *Monitor) Start() {
 				// rather than keep adding poll traffic to a sick network.
 				interval *= time.Duration(m.ShedFactor)
 				m.RStats.ShedSweeps++
+				m.telShedSweeps.Inc()
 			}
 			p.Sleep(interval)
 		}
@@ -224,6 +266,8 @@ type hostSample struct {
 // it cannot see a broken path between two healthy hosts, one more fidelity
 // gap versus the NTTCP sensor.
 func (m *Monitor) sweep(p *sim.Proc, req core.Request) {
+	sweepStart := p.Now()
+	sweepSpan := m.tracer.Begin("cots.sweep", "", sweepStart)
 	var hostOrder []netsim.Addr
 	seen := make(map[netsim.Addr]bool)
 	for _, path := range req.Paths {
@@ -254,14 +298,18 @@ func (m *Monitor) sweep(p *sim.Proc, req core.Request) {
 				// of spending a full timeout re-learning what the breaker
 				// already knows. The half-open probe re-checks it later.
 				m.RStats.FastFailedPolls++
+				m.telFastFails.Inc()
 				samples[host] = hostSample{}
 				continue
 			}
 		}
+		pollSpan := sweepSpan.Child("cots.poll", string(host), p.Now())
 		rtt, binds, err := m.timedGet(p, host,
 			mib.SysUpTime,
 			mib.IfEntry.Append(10, 1), // ifInOctets.1
 		)
+		pollSpan.End(p.Now())
+		m.telPollRTT.Observe(rtt.Seconds())
 		s := hostSample{rtt: rtt}
 		if err == nil && len(binds) == 2 {
 			s.up = true
@@ -331,6 +379,14 @@ func (m *Monitor) sweep(p *sim.Proc, req core.Request) {
 		}
 	}
 	m.Sweeps++
+	m.telSweeps.Inc()
+	sweepSpan.End(p.Now())
+	m.telSweepSec.Observe((p.Now() - sweepStart).Seconds())
+	if m.Breakers != nil && m.telOpenFraction != nil {
+		// Guarded explicitly: OpenFraction is an O(targets) scan that the
+		// uninstrumented path must not pay just to feed a nil gauge.
+		m.telOpenFraction.Set(m.Breakers.OpenFraction(p.Now()))
+	}
 }
 
 // timedGet issues a Get and reports the round-trip time.

@@ -36,6 +36,7 @@ func All() []Experiment {
 		{"E10", "Scalability: overhead and senescence vs system size", E10},
 		{"E11", "Background liveness polling: latency vs overhead", E11},
 		{"E12", "Resilience layer under chaos: latency, staleness, waste", E12},
+		{"E13", "Self-telemetry: zero-perturbation monitor-of-the-monitor", E13},
 		{"A1", "Ablation: trap vs inform delivery under load", A1},
 		{"A2", "Ablation: test sequencer concurrency frontier", A2},
 		{"A3", "Ablation: GetNext walk vs GetBulk retrieval", A3},

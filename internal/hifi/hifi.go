@@ -23,6 +23,7 @@ import (
 	"repro/internal/nttcp"
 	"repro/internal/resilience"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Monitor is the high-fidelity instantiation of the core architecture.
@@ -55,6 +56,14 @@ type Monitor struct {
 	// TrafficBytes accumulates measurement overhead put on the wire.
 	TrafficBytes int64
 
+	// Telemetry instrument handles (nil = disabled); see EnableTelemetry.
+	tracer         *telemetry.Tracer
+	telSweeps      *telemetry.Counter
+	telSamples     *telemetry.Counter
+	telSkipped     *telemetry.Counter
+	telOverheadBps *telemetry.Gauge
+	telSweepSec    *telemetry.Histogram
+
 	host       *netsim.Node
 	nw         *netsim.Network
 	serverSims map[netsim.Addr]*nttcp.Client
@@ -79,6 +88,23 @@ func New(host *netsim.Node, cfg nttcp.Config, concurrency int) *Monitor {
 		serverSims:   make(map[netsim.Addr]*nttcp.Client),
 		responders:   make(map[netsim.Addr]*nttcp.Server),
 	}
+}
+
+// EnableTelemetry registers the sequencer's self-measurement instruments
+// under the "hifi." prefix and records each path measurement as a trace
+// span tagged with the path id, nested under a per-sweep span (tr may be
+// nil to skip tracing). The serialized-sweep overhead gauge reports the
+// measurement traffic averaged over the last sweep in bits/s — the paper's
+// own 2.18 Mb/s intrusiveness figure (§5.1.3) as a live read. It also
+// instruments the measurement database.
+func (m *Monitor) EnableTelemetry(reg *telemetry.Registry, tr *telemetry.Tracer) {
+	m.tracer = tr
+	m.telSweeps = reg.Counter("hifi.sweeps")
+	m.telSamples = reg.Counter("hifi.samples")
+	m.telSkipped = reg.Counter("hifi.skipped_paths")
+	m.telOverheadBps = reg.Gauge("hifi.sweep_overhead_bps")
+	m.telSweepSec = reg.Histogram("hifi.sweep_s", []float64{0.1, 0.5, 1, 5, 10, 30})
+	m.DB.EnableTelemetry(reg, "hifi.db")
 }
 
 // Submit installs the request and provisions simulators on every host the
@@ -123,9 +149,19 @@ func (m *Monitor) Start() {
 				continue
 			}
 			start := p.Now()
-			m.sweep(p, req)
+			traffic0 := m.TrafficBytes
+			sweepSpan := m.tracer.Begin("hifi.sweep", "", start)
+			m.sweep(p, req, sweepSpan)
 			m.Sweeps++
 			m.SweepTime = p.Now() - start
+			sweepSpan.End(p.Now())
+			m.telSweeps.Inc()
+			m.telSweepSec.Observe(m.SweepTime.Seconds())
+			if m.SweepTime > 0 {
+				// Live intrusiveness: measurement traffic averaged over the
+				// serialized sweep — the paper's L/P ≈ 2.18 Mb/s figure.
+				m.telOverheadBps.Set(float64(m.TrafficBytes-traffic0) * 8 / m.SweepTime.Seconds())
+			}
 			if m.SweepInterval > 0 {
 				p.Sleep(m.SweepInterval)
 			} else if m.SweepTime == 0 {
@@ -143,11 +179,11 @@ func (m *Monitor) Start() {
 // sweep measures every path once, honoring the concurrency bound. Paths
 // are grouped by origin server, matching the sequencer's server-by-server
 // operation in Figure 5.
-func (m *Monitor) sweep(p *sim.Proc, req core.Request) {
+func (m *Monitor) sweep(p *sim.Proc, req core.Request, sweepSpan telemetry.Span) {
 	paths := orderByServer(req.Paths)
 	if m.Concurrency == 1 {
 		for _, path := range paths {
-			for _, meas := range m.measurePath(p, path, req.Metrics) {
+			for _, meas := range m.measurePath(p, path, req.Metrics, sweepSpan) {
 				m.Publish(meas)
 			}
 		}
@@ -160,7 +196,7 @@ func (m *Monitor) sweep(p *sim.Proc, req core.Request) {
 	launch := func(path core.Path) {
 		node := m.nw.Node(path.Hops[0].Host)
 		node.Spawn("rtds-server-sim", func(sp *sim.Proc) {
-			done.Put(m.measurePath(sp, path, req.Metrics))
+			done.Put(m.measurePath(sp, path, req.Metrics, sweepSpan))
 		})
 	}
 	for _, path := range paths {
@@ -213,14 +249,23 @@ func orderByServer(paths []core.Path) []core.Path {
 // it for every path. The caller's proc must be allowed to run on any node
 // (the measurement traffic originates at the path's first hop regardless).
 func (m *Monitor) MeasurePath(p *sim.Proc, path core.Path, wanted []metrics.Metric) []core.Measurement {
-	return m.measurePath(p, path, wanted)
+	// Targeted rechecks (the hybrid's escalations) trace as root spans;
+	// sweep-driven measurements nest under their sweep's span instead.
+	sp := m.tracer.Begin("hifi.recheck", string(path.ID), p.Now())
+	out := m.measurePath(p, path, wanted, sp)
+	sp.End(p.Now())
+	return out
 }
 
-func (m *Monitor) measurePath(p *sim.Proc, path core.Path, wanted []metrics.Metric) []core.Measurement {
+func (m *Monitor) measurePath(p *sim.Proc, path core.Path, wanted []metrics.Metric, parent telemetry.Span) []core.Measurement {
+	// The per-path sample span; parent (the sweep or recheck span) stays
+	// open — it is shared across paths and ended by the caller.
+	span := parent.Child("hifi.sample", string(path.ID), p.Now())
 	from := path.Hops[0].Host
 	to := path.Hops[len(path.Hops)-1].Host
 	cli := m.serverSims[from]
 	if cli == nil {
+		span.End(p.Now())
 		return failAll(path.ID, wanted, p.Now(), "no server simulator on "+string(from))
 	}
 	if m.Breakers != nil {
@@ -229,10 +274,14 @@ func (m *Monitor) measurePath(p *sim.Proc, path core.Path, wanted []metrics.Metr
 			// NTTCP test window; the breaker's half-open probe (or another
 			// monitor sharing the set) will re-admit the host later.
 			m.SkippedPaths++
+			m.telSkipped.Inc()
+			span.End(p.Now())
 			return m.fastFail(path.ID, wanted, p.Now(), host)
 		}
 	}
 	res, err := cli.Measure(p, to, 0)
+	m.telSamples.Inc()
+	span.End(p.Now())
 	if m.Breakers != nil {
 		if res.Reached {
 			m.Breakers.For(string(from)).Success(p.Now())

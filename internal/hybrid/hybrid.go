@@ -22,6 +22,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/nttcp"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Config tunes the hybrid's escalation rule.
@@ -54,6 +55,9 @@ type Monitor struct {
 	// Escalations counts targeted NTTCP measurements triggered.
 	Escalations int
 
+	// Telemetry instrument handles (nil = disabled); see EnableTelemetry.
+	telEscalations *telemetry.Counter
+
 	cotsMon     *cots.Monitor
 	hifiMon     *hifi.Monitor
 	host        *netsim.Node
@@ -77,6 +81,17 @@ func New(host *netsim.Node, community string, cfg Config) *Monitor {
 		lastRecheck:  make(map[core.PathID]time.Duration),
 	}
 	return m
+}
+
+// EnableTelemetry instruments both sub-monitors under their own prefixes
+// ("cots.", "hifi."), the hybrid's merged database under "hybrid.db", and
+// the escalation counter under "hybrid.escalations". Spans from the COTS
+// sweeps and the targeted hifi rechecks share tr (which may be nil).
+func (m *Monitor) EnableTelemetry(reg *telemetry.Registry, tr *telemetry.Tracer) {
+	m.telEscalations = reg.Counter("hybrid.escalations")
+	m.cotsMon.EnableTelemetry(reg, tr)
+	m.hifiMon.EnableTelemetry(reg, tr)
+	m.DB.EnableTelemetry(reg, "hybrid.db")
 }
 
 // COTS exposes the surveillance sub-monitor (for traffic accounting).
@@ -148,6 +163,7 @@ func (m *Monitor) maybeEscalate(p *sim.Proc, meas core.Measurement) {
 	}
 	m.lastRecheck[path.ID] = now
 	m.Escalations++
+	m.telEscalations.Inc()
 	req, _ := m.Request()
 	for _, direct := range m.hifiMon.MeasurePath(p, path, req.Metrics) {
 		m.Publish(direct)

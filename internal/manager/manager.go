@@ -15,6 +15,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Policy states the system's requirements on each monitored path.
@@ -90,6 +91,11 @@ type Manager struct {
 	// base on senescent data.
 	StaleReads uint64
 
+	// Telemetry instrument handles (nil = disabled); see EnableTelemetry.
+	telEvals      *telemetry.Counter
+	telFailovers  *telemetry.Counter
+	telStaleReads *telemetry.Counter
+
 	host       *netsim.Node
 	mon        core.Monitor
 	pools      map[string][]netsim.Addr
@@ -121,6 +127,16 @@ func New(host *netsim.Node, mon core.Monitor, policy Policy) *Manager {
 		m.Metrics = append(m.Metrics, metrics.OneWayLatency)
 	}
 	return m
+}
+
+// EnableTelemetry registers the manager's decision instruments under
+// prefix: policy evaluations run, failovers executed (actual host moves,
+// not pool-exhausted stalls), and queries rejected as stale under
+// Policy.MaxStaleness. A nil registry leaves the manager uninstrumented.
+func (m *Manager) EnableTelemetry(reg *telemetry.Registry, prefix string) {
+	m.telEvals = reg.Counter(prefix + ".evaluations")
+	m.telFailovers = reg.Counter(prefix + ".failovers")
+	m.telStaleReads = reg.Counter(prefix + ".stale_reads")
 }
 
 // DefinePool registers the replicated host pool for a role.
@@ -221,6 +237,7 @@ func (m *Manager) submit(roleFrom, roleTo string) {
 // evaluate inspects the database's current values for every path and
 // reconfigures processes that persistently violate policy.
 func (m *Manager) evaluate(p *sim.Proc, roleFrom, roleTo string) {
+	m.telEvals.Inc()
 	paths := m.PathList(roleFrom, roleTo)
 	type verdict struct {
 		bad, seen int
@@ -301,10 +318,12 @@ func (m *Manager) query(id core.PathID, metric metrics.Metric) (core.Measurement
 			return fresh, true
 		}
 		m.StaleReads++
+		m.telStaleReads.Inc()
 		return core.Measurement{}, false
 	}
 	if now-meas.TakenAt > m.Policy.MaxStaleness {
 		m.StaleReads++
+		m.telStaleReads.Inc()
 		return core.Measurement{}, false
 	}
 	return meas, true
@@ -369,6 +388,7 @@ func (m *Manager) failover(p *sim.Proc, process, roleFrom, roleTo string) {
 	pl.Incarnation++
 	rec := Reconfig{At: p.Now(), Process: process, From: old, To: newHost, Reason: "policy violation"}
 	m.Reconfigs = append(m.Reconfigs, rec)
+	m.telFailovers.Inc()
 	m.submit(roleFrom, roleTo)
 	if m.OnReconfig != nil {
 		m.OnReconfig(rec)

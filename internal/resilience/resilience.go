@@ -19,6 +19,8 @@ package resilience
 import (
 	"math/rand"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // Backoff computes retransmission delays: attempt n waits Base·2ⁿ, capped
@@ -35,12 +37,27 @@ type Backoff struct {
 	JitterFrac float64
 
 	rng *rand.Rand
+
+	// Telemetry instrument handles (nil = disabled); see EnableTelemetry.
+	telWaits  *telemetry.Counter
+	telWaitNs *telemetry.Counter
 }
 
 // NewBackoff builds a backoff schedule. rng supplies the jitter stream;
 // pass one derived from sim.Kernel.Rand so the schedule is deterministic.
 func NewBackoff(rng *rand.Rand, base, max time.Duration, jitterFrac float64) *Backoff {
 	return &Backoff{Base: base, Max: max, JitterFrac: jitterFrac, rng: rng}
+}
+
+// EnableTelemetry registers the backoff's instruments under prefix: a count
+// of non-zero waits handed out and the total virtual time they add up to.
+// Delay records into them; a nil registry leaves the backoff silent.
+func (b *Backoff) EnableTelemetry(reg *telemetry.Registry, prefix string) {
+	if b == nil {
+		return
+	}
+	b.telWaits = reg.Counter(prefix + ".waits")
+	b.telWaitNs = reg.Counter(prefix + ".wait_ns")
 }
 
 // Delay returns the wait before retransmission number attempt (0-based).
@@ -66,6 +83,10 @@ func (b *Backoff) Delay(attempt int) time.Duration {
 		if d < 0 {
 			d = 0
 		}
+	}
+	if d > 0 {
+		b.telWaits.Inc()
+		b.telWaitNs.Add(uint64(d))
 	}
 	return d
 }
@@ -130,6 +151,15 @@ type BreakerStats struct {
 	Closes uint64
 }
 
+// breakerTel is the set of shared instruments a BreakerSet hands each of
+// its breakers. The zero value (all nil) is the disabled layer.
+type breakerTel struct {
+	opens     *telemetry.Counter
+	closes    *telemetry.Counter
+	probes    *telemetry.Counter
+	fastFails *telemetry.Counter
+}
+
 // Breaker is a per-target circuit breaker on the virtual clock. It is not
 // safe for concurrent use from multiple OS threads; under the simulation
 // kernel all calls are serialized anyway.
@@ -142,6 +172,7 @@ type Breaker struct {
 	succs    int
 	openedAt time.Duration
 	probing  bool
+	tel      breakerTel
 }
 
 // NewBreaker returns a closed breaker.
@@ -170,18 +201,22 @@ func (b *Breaker) Allow(now time.Duration) bool {
 			b.state = HalfOpen
 			b.probing = true
 			b.Stats.Probes++
+			b.tel.probes.Inc()
 			return true
 		}
 		b.Stats.FastFails++
+		b.tel.fastFails.Inc()
 		return false
 	default: // HalfOpen
 		if b.probing {
 			// A probe is already in flight; everyone else fast-fails.
 			b.Stats.FastFails++
+			b.tel.fastFails.Inc()
 			return false
 		}
 		b.probing = true
 		b.Stats.Probes++
+		b.tel.probes.Inc()
 		return true
 	}
 }
@@ -207,6 +242,7 @@ func (b *Breaker) close() {
 	b.state = Closed
 	b.succs = 0
 	b.Stats.Closes++
+	b.tel.closes.Inc()
 }
 
 // Failure records a failed (timed-out) call finishing at virtual time now.
@@ -220,11 +256,13 @@ func (b *Breaker) Failure(now time.Duration) {
 		b.state = Open
 		b.openedAt = now
 		b.Stats.Opens++
+		b.tel.opens.Inc()
 	case Closed:
 		if b.fails >= b.cfg.FailThreshold {
 			b.state = Open
 			b.openedAt = now
 			b.Stats.Opens++
+			b.tel.opens.Inc()
 		}
 	}
 }
@@ -236,6 +274,22 @@ type BreakerSet struct {
 
 	m     map[string]*Breaker
 	order []string
+	tel   breakerTel
+}
+
+// EnableTelemetry registers fleet-wide transition counters under prefix
+// (opens, closes, probes, fast_fails) and installs them into every breaker
+// the set already holds or will create. A nil registry disables the layer.
+func (s *BreakerSet) EnableTelemetry(reg *telemetry.Registry, prefix string) {
+	s.tel = breakerTel{
+		opens:     reg.Counter(prefix + ".opens"),
+		closes:    reg.Counter(prefix + ".closes"),
+		probes:    reg.Counter(prefix + ".probes"),
+		fastFails: reg.Counter(prefix + ".fast_fails"),
+	}
+	for _, t := range s.order {
+		s.m[t].tel = s.tel
+	}
 }
 
 // NewBreakerSet returns an empty set with the given shared config.
@@ -249,6 +303,7 @@ func (s *BreakerSet) For(target string) *Breaker {
 		return b
 	}
 	b := NewBreaker(s.Cfg)
+	b.tel = s.tel
 	s.m[target] = b
 	s.order = append(s.order, target)
 	return b

@@ -9,6 +9,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/resilience"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // ErrTimeout reports a request that got no response within the retry
@@ -23,6 +24,9 @@ type ClientStats struct {
 	Responses uint64
 	BytesSent uint64
 	BytesRecv uint64
+	// StaleDrops counts responses discarded because their RequestID did not
+	// match the outstanding request (a late answer to an earlier retry).
+	StaleDrops uint64
 }
 
 // Client is a manager-side SNMP endpoint on a simulated node.
@@ -44,6 +48,16 @@ type Client struct {
 
 	Stats ClientStats
 
+	// Telemetry instrument handles; nil (the default) disables each at the
+	// cost of one pointer test. Install via EnableTelemetry.
+	telRequests   *telemetry.Counter
+	telRetries    *telemetry.Counter
+	telTimeouts   *telemetry.Counter
+	telResponses  *telemetry.Counter
+	telStaleDrops *telemetry.Counter
+	telBytesSent  *telemetry.Counter
+	telBytesRecv  *telemetry.Counter
+
 	node  *netsim.Node
 	sock  *netsim.UDPSock
 	reqID int32
@@ -63,6 +77,20 @@ func NewClient(node *netsim.Node, community string) *Client {
 
 // Node returns the hosting node.
 func (c *Client) Node() *netsim.Node { return c.node }
+
+// EnableTelemetry registers this client's instruments under prefix (e.g.
+// "cots.snmp") and starts recording protocol activity into them. Passing a
+// nil registry leaves the client uninstrumented; the hot path then pays
+// only nil tests.
+func (c *Client) EnableTelemetry(reg *telemetry.Registry, prefix string) {
+	c.telRequests = reg.Counter(prefix + ".requests")
+	c.telRetries = reg.Counter(prefix + ".retries")
+	c.telTimeouts = reg.Counter(prefix + ".timeouts")
+	c.telResponses = reg.Counter(prefix + ".responses")
+	c.telStaleDrops = reg.Counter(prefix + ".stale_drops")
+	c.telBytesSent = reg.Counter(prefix + ".bytes_sent")
+	c.telBytesRecv = reg.Counter(prefix + ".bytes_recv")
+}
 
 func (c *Client) request(p *sim.Proc, agent netsim.Addr, port netsim.Port, pdu PDU) (*Message, error) {
 	if port == 0 {
@@ -85,12 +113,15 @@ func (c *Client) request(p *sim.Proc, agent netsim.Addr, port netsim.Port, pdu P
 				p.Sleep(wait)
 			}
 			c.Stats.Retries++
+			c.telRetries.Inc()
 		}
 		if hard >= 0 && p.Now() >= hard {
 			break
 		}
 		c.Stats.Requests++
+		c.telRequests.Inc()
 		c.Stats.BytesSent += uint64(len(b))
+		c.telBytesSent.Add(uint64(len(b)))
 		c.sock.SendTo(agent, port, b)
 		deadline := p.Now() + c.Timeout
 		if hard >= 0 && deadline > hard {
@@ -110,14 +141,20 @@ func (c *Client) request(p *sim.Proc, agent netsim.Addr, port netsim.Port, pdu P
 				continue
 			}
 			if resp.PDU.RequestID != pdu.RequestID {
-				continue // stale response from an earlier retry
+				// Stale response from an earlier retry.
+				c.Stats.StaleDrops++
+				c.telStaleDrops.Inc()
+				continue
 			}
 			c.Stats.Responses++
+			c.telResponses.Inc()
 			c.Stats.BytesRecv += uint64(len(pkt.Payload))
+			c.telBytesRecv.Add(uint64(len(pkt.Payload)))
 			return resp, nil
 		}
 	}
 	c.Stats.Timeouts++
+	c.telTimeouts.Inc()
 	return nil, ErrTimeout
 }
 

@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# bench_compare.sh — perf-regression gate. Re-runs the kernel/database
+# micro-benchmarks (via scripts/bench.sh) and compares every ns/op figure
+# against the committed baseline: any benchmark slower by more than
+# THRESHOLD percent — or missing from the fresh run — fails the gate. A
+# failing attempt is re-measured once (RETRIES) before the gate trips, so
+# one noisy CI scheduling hiccup does not fail the build; a real regression
+# fails both attempts.
+#
+# Usage: scripts/bench_compare.sh [baseline.json [fresh.json]]
+#   THRESHOLD   max tolerated ns/op regression in percent (default 25)
+#   RETRIES     extra measurement attempts after a failure (default 1)
+#   BENCHTIME   forwarded to bench.sh (default 1s)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+baseline="${1:-BENCH_kernel.json}"
+fresh="${2:-BENCH_fresh.json}"
+threshold="${THRESHOLD:-25}"
+retries="${RETRIES:-1}"
+
+if [ ! -f "$baseline" ]; then
+    echo "bench_compare: baseline $baseline missing (run 'make bench' and commit it)" >&2
+    exit 1
+fi
+
+# Emit "name ns_per_op" pairs from a bench.sh JSON file (one benchmark
+# object per line, see bench.sh's writer).
+extract() {
+    awk -F'"' '/"name":/ {
+        name = $4
+        if (match($0, /"ns_per_op": [0-9.eE+-]+/))
+            print name, substr($0, RSTART + 13, RLENGTH - 13)
+    }' "$1"
+}
+
+# Run the benchmarks into $fresh and compare against $baseline; returns
+# non-zero when any benchmark regresses past the threshold or disappears.
+attempt() {
+    scripts/bench.sh "$fresh"
+    local status=0 name base new
+    while read -r name base; do
+        new=$(extract "$fresh" | awk -v n="$name" '$1 == n { print $2 }')
+        if [ -z "$new" ]; then
+            echo "bench_compare: FAIL $name missing from fresh run" >&2
+            status=1
+            continue
+        fi
+        awk -v name="$name" -v base="$base" -v new="$new" -v thr="$threshold" '
+            BEGIN {
+                delta = (new - base) / base * 100
+                verdict = (delta > thr) ? "FAIL" : "ok"
+                printf("bench_compare: %-4s %-24s %10.4g -> %10.4g ns/op (%+.1f%%, threshold +%s%%)\n",
+                       verdict, name, base, new, delta, thr)
+                exit (delta > thr) ? 1 : 0
+            }' || status=1
+    done < <(extract "$baseline")
+    return "$status"
+}
+
+if [ "$(extract "$baseline" | wc -l)" -eq 0 ]; then
+    echo "bench_compare: no benchmarks found in $baseline" >&2
+    exit 1
+fi
+
+for try in $(seq 0 "$retries"); do
+    if attempt; then
+        echo "bench_compare: all benchmarks within +${threshold}% of baseline" >&2
+        exit 0
+    fi
+    if [ "$try" -lt "$retries" ]; then
+        echo "bench_compare: attempt $((try + 1)) failed; re-measuring to rule out noise" >&2
+    fi
+done
+echo "bench_compare: performance gate FAILED" >&2
+exit 1

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# bench_smoke.sh — run every benchmark once, package by package, and fail
+# loudly naming each package whose benchmarks break. The per-package loop
+# means one broken package cannot hide behind the aggregate output of
+# `go test ./...`, and the gate keeps going so a single run reports every
+# offender.
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+status=0
+failed=()
+for pkg in $(go list ./...); do
+    if ! go test -run '^$' -bench . -benchtime 1x "$pkg"; then
+        failed+=("$pkg")
+        status=1
+    fi
+done
+
+if [ "$status" -ne 0 ]; then
+    echo "bench-smoke: FAILED in: ${failed[*]}" >&2
+fi
+exit "$status"
