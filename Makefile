@@ -5,9 +5,9 @@ GO ?= go
 # this floor. Raise it when coverage rises; never lower it to make a PR pass.
 COVER_FLOOR ?= 85.0
 
-.PHONY: ci vet build test race analyze fuzz-smoke bench-smoke bench-check cover bench experiments
+.PHONY: ci vet build test race analyze fuzz-smoke bench-smoke bench-check cover bench bench-shard test-shard experiments
 
-ci: vet build test race analyze fuzz-smoke bench-smoke bench-check
+ci: vet build test race test-shard analyze fuzz-smoke bench-smoke bench-check
 
 vet:
 	$(GO) vet ./...
@@ -20,6 +20,14 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Focused sharded-kernel suite under the race detector: the conservative
+# protocol's ownership rules (stage-then-merge, owner-goroutine-only appends)
+# are exactly what -race can falsify. The full-suite bit-identity tests also
+# run under `race` above; this target is the quick standalone entry point.
+test-shard:
+	$(GO) test -race -run 'Shard|Grouped' ./internal/sim/ ./internal/topo/ ./internal/core/ ./internal/cots/ ./internal/hifi/
+	$(GO) test -race -run 'TestE14Shape' ./internal/experiments/
 
 # Project-specific static analysis: simulation determinism, BER/SNMP error
 # discipline, timer leaks, locks held across yield points (see DESIGN.md §8).
@@ -54,6 +62,12 @@ cover:
 # Full measurement run; writes BENCH_kernel.json (see scripts/bench.sh).
 bench:
 	scripts/bench.sh
+
+# Shard-count speedup sweep against the wall clock; writes BENCH_shard.json
+# (see scripts/bench_shard.sh). Hardware-dependent by design — on a 1-CPU
+# host expect speedup <= 1.
+bench-shard:
+	scripts/bench_shard.sh
 
 experiments:
 	$(GO) run ./cmd/experiments

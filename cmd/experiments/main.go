@@ -23,8 +23,11 @@ func main() {
 	markdown := flag.Bool("markdown", false, "emit markdown tables")
 	list := flag.Bool("list", false, "list experiments and exit")
 	workers := flag.Int("j", runtime.NumCPU(), "experiments to run concurrently")
+	shards := flag.Int("shards", 0, "run each experiment's kernel as shard 0 of an n-shard group (0 = plain kernel); tables are byte-identical at any value")
 	telem := flag.String("telemetry", "", "instead of tables, run the instrumented chaos scenario and dump its self-telemetry (text | json)")
 	flag.Parse()
+
+	experiments.SetShards(*shards)
 
 	if *telem != "" {
 		reg, tracer := experiments.CollectTelemetry(*quick)
@@ -54,6 +57,24 @@ func main() {
 			selected = append(selected, e)
 		}
 	}
+	// Effective parallelism is capped by the scheduler as well as the
+	// worker pool: on a 1-CPU container -j 8 still runs serially, which
+	// would otherwise silently flatten any wall-clock speedup comparison.
+	maxprocs := runtime.GOMAXPROCS(0)
+	effective := *workers
+	if effective < 1 {
+		effective = 1
+	}
+	if effective > len(selected) {
+		effective = len(selected)
+	}
+	capped := ""
+	if maxprocs < effective {
+		effective = maxprocs
+		capped = fmt.Sprintf(" (capped by GOMAXPROCS=%d)", maxprocs)
+	}
+	fmt.Fprintf(os.Stderr, "[run: %d experiment(s), -j %d, -shards %d, GOMAXPROCS %d, effective parallelism %d%s]\n",
+		len(selected), *workers, *shards, maxprocs, effective, capped)
 	for i, r := range experiments.RunAll(selected, *quick, *workers) {
 		if i > 0 {
 			fmt.Println()

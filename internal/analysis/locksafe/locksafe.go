@@ -2,7 +2,8 @@
 //
 // Code running under the sim kernel is cooperatively scheduled: at most one
 // Proc executes at a time, and control transfers only at explicit yield
-// points (Proc.Sleep, Proc.Yield, Queue.Get, Kernel.Run/RunUntil). Holding
+// points (Proc.Sleep, Proc.Yield, Queue.Get, Kernel.Run/RunUntil, and the
+// sharded group's ShardGroup.Run/RunUntil/Step barriers). Holding
 // a sync.Mutex across such a point is at best useless (no other Proc can
 // run concurrently anyway) and at worst a deadlock: the parked Proc still
 // owns the lock, and whichever goroutine next contends for it blocks an OS
@@ -32,14 +33,17 @@ import (
 // Analyzer is the locksafe pass.
 var Analyzer = &analysis.Analyzer{
 	Name: "locksafe",
-	Doc:  "flag sync mutexes held across sim yield points (Sleep/Yield/Get/Run)",
+	Doc:  "flag sync mutexes held across sim yield points (Sleep/Yield/Get/Run/Step)",
 	Run:  run,
 }
 
 // yieldMethods are the sim-package methods that park the calling Proc or
-// re-enter the scheduler.
+// re-enter the scheduler. ShardGroup.Run/RunUntil/Step drive every shard's
+// worker goroutine to a barrier, so a mutex held across them blocks not one
+// Proc but the whole group.
 var yieldMethods = map[string]bool{
 	"Sleep": true, "Yield": true, "Get": true, "Run": true, "RunUntil": true,
+	"Step": true,
 }
 
 func run(pass *analysis.Pass) error {

@@ -40,6 +40,26 @@ func badLoop(s *server, p *sim.Proc) {
 	s.mu.Unlock()
 }
 
+func badShardBarrier(s *server, g *sim.ShardGroup) {
+	s.mu.Lock()
+	g.Step() // want `sim yield point Step called while holding s\.mu`
+	s.mu.Unlock()
+}
+
+func badShardRun(s *server, g *sim.ShardGroup) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g.RunUntil(100) // want `sim yield point RunUntil called while holding s\.mu`
+}
+
+func goodShardSend(s *server, g *sim.ShardGroup) {
+	s.mu.Lock()
+	// Cross-shard Send only stages the event for the next barrier; it never
+	// re-enters the scheduler, so holding a lock across it is fine.
+	g.Send(0, 1, 10, func() {})
+	s.mu.Unlock()
+}
+
 func good(s *server, p *sim.Proc) {
 	s.mu.Lock()
 	s.n++

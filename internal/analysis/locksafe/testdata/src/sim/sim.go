@@ -16,3 +16,13 @@ func (k *Kernel) RunUntil(d int64) int { return 0 }
 type Queue struct{}
 
 func (q *Queue) Get(p *Proc, timeout int64) (int, bool) { return 0, false }
+
+type ShardGroup struct{}
+
+func (g *ShardGroup) Run() int { return 0 }
+
+func (g *ShardGroup) RunUntil(d int64) int { return 0 }
+
+func (g *ShardGroup) Step() bool { return false }
+
+func (g *ShardGroup) Send(from, to int, at int64, fn func()) {}

@@ -13,13 +13,19 @@
 //   - package-level functions of math/rand and math/rand/v2 that draw from
 //     the shared global source (rand.Int, rand.Intn, rand.Float64, ...);
 //     constructing private sources via rand.New/NewSource is the sanctioned
-//     pattern and stays allowed.
+//     pattern and stays allowed;
+//   - runtime.NumCPU and runtime.GOMAXPROCS, which read host CPU topology.
+//     Sharded runs must produce identical tables for a fixed (seed,
+//     shard-count) on any machine, so shard workers and the code they call
+//     must never branch on how parallel the host happens to be. Picking a
+//     shard count belongs in cmd mains (unchecked), not in the simulation.
 //
 // The real-network layer is exempt: files named real.go or *_real.go talk
 // to actual sockets and legitimately use the wall clock, and packages not
 // on the simulation-facing list (cmd mains, the analysis suite itself) are
 // not checked at all. Individual lines opt out with
-// `//lint:allow wallclock <reason>` or `//lint:allow globalrand <reason>`.
+// `//lint:allow wallclock <reason>`, `//lint:allow globalrand <reason>`, or
+// `//lint:allow hostcpu <reason>`.
 package simdeterminism
 
 import (
@@ -33,7 +39,7 @@ import (
 // Analyzer is the simdeterminism pass.
 var Analyzer = &analysis.Analyzer{
 	Name: "simdeterminism",
-	Doc:  "forbid wall-clock time and global math/rand in simulation-facing packages",
+	Doc:  "forbid wall-clock time, global math/rand, and host-CPU probes in simulation-facing packages",
 	Run:  run,
 }
 
@@ -61,6 +67,12 @@ var wallClockFuncs = map[string]bool{
 var randConstructors = map[string]bool{
 	"New": true, "NewSource": true, "NewZipf": true,
 	"NewPCG": true, "NewChaCha8": true,
+}
+
+// hostCPUFuncs are the runtime functions that expose host CPU topology —
+// exactly what a deterministic sharded run must not depend on.
+var hostCPUFuncs = map[string]bool{
+	"NumCPU": true, "GOMAXPROCS": true,
 }
 
 func run(pass *analysis.Pass) error {
@@ -99,6 +111,10 @@ func check(pass *analysis.Pass, id *ast.Ident, fn *types.Func) {
 	case "math/rand", "math/rand/v2":
 		if !randConstructors[fn.Name()] && !pass.Allowed(id.Pos(), "globalrand") {
 			pass.Reportf(id.Pos(), "rand.%s draws from the process-global source in simulation-facing package %s; use a per-simulation *rand.Rand (or annotate //lint:allow globalrand)", fn.Name(), pass.Pkg.Name())
+		}
+	case "runtime":
+		if hostCPUFuncs[fn.Name()] && !pass.Allowed(id.Pos(), "hostcpu") {
+			pass.Reportf(id.Pos(), "runtime.%s reads host CPU topology in simulation-facing package %s; shard counts and results must not depend on host parallelism (or annotate //lint:allow hostcpu)", fn.Name(), pass.Pkg.Name())
 		}
 	}
 }

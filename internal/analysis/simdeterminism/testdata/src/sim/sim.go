@@ -2,6 +2,7 @@ package sim
 
 import (
 	"math/rand"
+	"runtime"
 	"time"
 )
 
@@ -16,6 +17,18 @@ func bad() time.Duration {
 	_ = time.After(time.Second)  // want `time\.After reads the wall clock`
 	n := rand.Intn(10)           // want `rand\.Intn draws from the process-global source`
 	return time.Duration(n)
+}
+
+func badShardCount() int {
+	n := runtime.NumCPU() // want `runtime\.NumCPU reads host CPU topology`
+	runtime.GOMAXPROCS(n) // want `runtime\.GOMAXPROCS reads host CPU topology`
+	runtime.Gosched()     // not a CPU-topology probe: fine
+	return n
+}
+
+func allowedShardCount() int {
+	//lint:allow hostcpu sizing a diagnostic label, not simulation state
+	return runtime.NumCPU()
 }
 
 func allowed() time.Duration {

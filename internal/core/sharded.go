@@ -1,0 +1,132 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// ShardedMonitor federates per-region monitors into one resource-manager
+// endpoint. In a sharded simulation each shard (or each region) runs its
+// own director close to its sensors — the fabric tier — while the resource
+// manager talks to this meta-director, which fans a request's path list out
+// to the member that owns each path and merges their databases on query.
+//
+// Members' directors run on their own shards; the fan-out itself happens at
+// wiring time (Submit before the run) and queries read member databases
+// after the run or between windows, so ShardedMonitor needs no locking of
+// its own. Asynchronous report streaming is not supported: each member's
+// stream lives on its shard's kernel, and merging them mid-run would create
+// exactly the cross-shard mutation the ownership rules forbid. Submit
+// panics on ReportAsync rather than silently dropping the mode.
+type ShardedMonitor struct {
+	members []Monitor
+	owner   func(Path) int
+	byPath  map[PathID]int
+}
+
+var _ Monitor = (*ShardedMonitor)(nil)
+
+// NewShardedMonitor builds the meta-director. owner maps a path to the
+// index of the member monitor that must collect it (typically: the shard or
+// region of the path's origin host).
+func NewShardedMonitor(owner func(Path) int, members ...Monitor) *ShardedMonitor {
+	if len(members) == 0 {
+		panic("core: ShardedMonitor needs at least one member")
+	}
+	return &ShardedMonitor{
+		members: members,
+		owner:   owner,
+		byPath:  make(map[PathID]int),
+	}
+}
+
+// Members returns the federated monitors in index order.
+func (s *ShardedMonitor) Members() []Monitor { return s.members }
+
+// Owner returns the member index collecting the given path, if known.
+func (s *ShardedMonitor) Owner(path PathID) (int, bool) {
+	i, ok := s.byPath[path]
+	return i, ok
+}
+
+// Submit splits the request's path list by owner and submits one
+// sub-request per member (Monitor interface). Members with no owned paths
+// receive an empty request, clearing any previous one.
+func (s *ShardedMonitor) Submit(req Request) {
+	if req.Mode == ReportAsync {
+		panic("core: ShardedMonitor does not support ReportAsync")
+	}
+	split := make([][]Path, len(s.members))
+	for _, p := range req.Paths {
+		i := s.owner(p)
+		if i < 0 || i >= len(s.members) {
+			panic("core: ShardedMonitor owner index out of range")
+		}
+		s.byPath[p.ID] = i
+		split[i] = append(split[i], p)
+	}
+	for i, m := range s.members {
+		m.Submit(Request{Paths: split[i], Metrics: req.Metrics, Mode: ReportOnDemand})
+	}
+}
+
+// Query implements current-value reporting by asking the owning member
+// (Monitor interface). Unknown paths fall back to scanning every member, so
+// reads remain possible for requests submitted to members directly.
+func (s *ShardedMonitor) Query(path PathID, metric metrics.Metric) (Measurement, bool) {
+	if i, ok := s.byPath[path]; ok {
+		return s.members[i].Query(path, metric)
+	}
+	for _, m := range s.members {
+		if meas, ok := m.Query(path, metric); ok {
+			return meas, true
+		}
+	}
+	return Measurement{}, false
+}
+
+// LastKnown implements last-known-value reporting across members (Monitor
+// interface).
+func (s *ShardedMonitor) LastKnown(path PathID, metric metrics.Metric) (Measurement, bool) {
+	if i, ok := s.byPath[path]; ok {
+		return s.members[i].LastKnown(path, metric)
+	}
+	for _, m := range s.members {
+		if meas, ok := m.LastKnown(path, metric); ok {
+			return meas, true
+		}
+	}
+	return Measurement{}, false
+}
+
+// QueryFresh implements senescence-aware reads (FreshQuerier) for members
+// that support them; members that do not are treated as always stale.
+func (s *ShardedMonitor) QueryFresh(path PathID, metric metrics.Metric, now, ttl time.Duration) (Measurement, bool) {
+	if i, ok := s.byPath[path]; ok {
+		if fq, ok := s.members[i].(FreshQuerier); ok {
+			return fq.QueryFresh(path, metric, now, ttl)
+		}
+		return Measurement{}, false
+	}
+	for _, m := range s.members {
+		if fq, ok := m.(FreshQuerier); ok {
+			if meas, ok := fq.QueryFresh(path, metric, now, ttl); ok {
+				return meas, true
+			}
+		}
+	}
+	return Measurement{}, false
+}
+
+// Reports returns nil: the federated monitor is pull-only (Monitor
+// interface; see the type comment for why).
+func (s *ShardedMonitor) Reports() *sim.Queue[Measurement] { return nil }
+
+// Stop ceases collection on every member (Monitor interface).
+func (s *ShardedMonitor) Stop() {
+	for _, m := range s.members {
+		m.Stop()
+	}
+}

@@ -87,6 +87,7 @@ type Monitor struct {
 
 	host       *netsim.Node
 	nw         *netsim.Network
+	registry   *AgentRegistry
 	sink       *snmp.TrapSink
 	watches    map[netsim.Addr]watch
 	meter      *flowmeter.Meter
@@ -109,6 +110,32 @@ type DeployedAgent struct {
 	View  *mib.NodeView
 	Agent *snmp.Agent
 }
+
+// AgentRegistry shares deployed SNMP agents between directors. A host runs
+// one agent no matter how many monitors poll it; without sharing, two
+// directors whose path lists overlap (per-region directors in a sharded
+// system, or a hybrid's cots member next to a standalone one) would each
+// deploy an agent — double MIB views, double trap sources. Wire one
+// registry into every director with UseRegistry before submitting requests.
+//
+// The registry is a wiring-time structure: deployments happen while the
+// topology is being set up (or from Submit, which sharded setups call
+// before the run), from a single goroutine. It must not be mutated from
+// inside concurrently running shards.
+type AgentRegistry struct {
+	agents map[netsim.Addr]*DeployedAgent
+}
+
+// NewAgentRegistry returns an empty shared agent registry.
+func NewAgentRegistry() *AgentRegistry {
+	return &AgentRegistry{agents: make(map[netsim.Addr]*DeployedAgent)}
+}
+
+// Lookup returns the agent deployed on host, or nil.
+func (r *AgentRegistry) Lookup(host netsim.Addr) *DeployedAgent { return r.agents[host] }
+
+// Size reports how many hosts have agents.
+func (r *AgentRegistry) Size() int { return len(r.agents) }
 
 var _ core.Monitor = (*Monitor)(nil)
 
@@ -187,20 +214,63 @@ func (m *Monitor) UseFlowMeter(meter *flowmeter.Meter) {
 	m.flowReader = meter.NewReader()
 }
 
-// EnsureAgent deploys (or returns) the SNMP agent on a host.
+// UseRegistry shares agent deployments with other directors: EnsureAgent
+// and EnsureAgentOn consult (and feed) the registry, so a host polled by
+// several monitors still runs exactly one agent. Call before Submit.
+func (m *Monitor) UseRegistry(r *AgentRegistry) { m.registry = r }
+
+// EnsureAgent deploys (or returns) the SNMP agent on a host. It resolves
+// the host in the director's own network; hosts living in foreign networks
+// (other regions of a sharded topology) must be deployed with EnsureAgentOn
+// instead, since only the caller holds their node.
 func (m *Monitor) EnsureAgent(host netsim.Addr) *DeployedAgent {
 	if a, ok := m.Agents[host]; ok {
 		return a
+	}
+	if m.registry != nil {
+		if a := m.registry.Lookup(host); a != nil {
+			m.Agents[host] = a
+			return a
+		}
 	}
 	node := m.nw.Node(host)
 	if node == nil {
 		return nil
 	}
+	return m.deploy(node)
+}
+
+// EnsureAgentOn deploys (or returns) the SNMP agent on an explicit node,
+// which may belong to a different network than the director's — the
+// sharded-topology case, where a path's far endpoint lives in another
+// region. The agent's socket and procs run on the node's own kernel, so the
+// deployment stays shard-correct; only the deployment itself must happen at
+// wiring time.
+func (m *Monitor) EnsureAgentOn(node *netsim.Node) *DeployedAgent {
+	if node == nil {
+		return nil
+	}
+	if a, ok := m.Agents[node.Name]; ok {
+		return a
+	}
+	if m.registry != nil {
+		if a := m.registry.Lookup(node.Name); a != nil {
+			m.Agents[node.Name] = a
+			return a
+		}
+	}
+	return m.deploy(node)
+}
+
+func (m *Monitor) deploy(node *netsim.Node) *DeployedAgent {
 	view := mib.NewNodeView(node)
 	agent := snmp.NewAgent(view.Tree, m.Client.Community)
 	agent.ServeSim(node, 0)
 	d := &DeployedAgent{Node: node, View: view, Agent: agent}
-	m.Agents[host] = d
+	m.Agents[node.Name] = d
+	if m.registry != nil {
+		m.registry.agents[node.Name] = d
+	}
 	return d
 }
 

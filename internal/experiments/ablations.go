@@ -39,7 +39,7 @@ func A1(quick bool) *report.Table {
 	events := 100
 
 	for _, frac := range loads {
-		k := sim.NewKernel()
+		k := newKernel()
 		h := topo.BuildHiPerD(k, 1)
 		// Notifications from w-fddi-1 (FDDI) to mgmt (Ethernet): cross r2,
 		// which the load saturates — the E5 mechanism.
@@ -118,7 +118,7 @@ func A2(quick bool) *report.Table {
 	cfg := nttcp.Config{MsgLen: 2048, InterSend: 10 * time.Millisecond, Count: 8, Timeout: time.Second}
 	horizon := pick(quick, 15*time.Second, 30*time.Second)
 	for _, conc := range concs {
-		k := sim.NewKernel()
+		k := newKernel()
 		h := topo.BuildHiPerD(k, 1)
 		m := hifi.New(h.Mgmt, cfg, conc)
 		paths := h.PathList()
@@ -156,7 +156,7 @@ func A3(quick bool) *report.Table {
 		Columns: []string{"method", "objects", "request pkts", "bytes on wire", "elapsed"},
 	}
 	_ = quick
-	k := sim.NewKernel()
+	k := newKernel()
 	defer k.Close()
 	h := topo.BuildHiPerD(k, 1)
 	// The router r2's view has several interfaces; a host view has one.

@@ -12,7 +12,6 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/nttcp"
 	"repro/internal/report"
-	"repro/internal/sim"
 	"repro/internal/topo"
 )
 
@@ -55,7 +54,7 @@ func E10(quick bool) *report.Table {
 		servers := 2
 		clients := nPaths / servers
 		for _, im := range impls {
-			k := sim.NewKernel()
+			k := newKernel()
 			// Two clients per 10 Mb/s LAN (4 paths ≈ 9 Mb/s worst case)
 			// so client LANs are not the bottleneck; servers sit on the
 			// 100 Mb/s backbone like HiPer-D's FDDI server pool.

@@ -7,7 +7,6 @@ import (
 	"repro/internal/cots"
 	"repro/internal/metrics"
 	"repro/internal/report"
-	"repro/internal/sim"
 	"repro/internal/topo"
 )
 
@@ -36,7 +35,7 @@ func E11(quick bool) *report.Table {
 		var bytesPerSec float64
 		var deadPolls uint64
 		for trial := 0; trial < trials; trial++ {
-			k := sim.NewKernel()
+			k := newKernel()
 			h := topo.BuildHiPerD(k, int64(trial+1))
 			m := cots.New(h.Mgmt, "public", interval)
 			m.Submit(core.Request{Paths: h.PathList(), Metrics: []metrics.Metric{metrics.Reachability}})

@@ -43,7 +43,7 @@ type e12Stats struct {
 // resilience layer either enabled or disabled, and measures what the
 // resource-manager side would have experienced.
 func runE12(quick, enabled bool) e12Stats {
-	k := sim.NewKernel()
+	k := newKernel()
 	defer k.Close()
 	h := topo.BuildHiPerD(k, 7)
 	m := cots.New(h.Mgmt, "public", time.Second)

@@ -38,7 +38,7 @@ type e13Outcome struct {
 // monitor, optionally with the telemetry layer attached, and captures both
 // the simulation outcome and the instrument readings.
 func runE13(quick, telemetryOn bool) e13Outcome {
-	k := sim.NewKernel()
+	k := newKernel()
 	defer k.Close()
 	h := topo.BuildHiPerD(k, 7)
 	m := cots.New(h.Mgmt, "public", time.Second)
@@ -135,7 +135,7 @@ func CollectTelemetry(quick bool) (*telemetry.Registry, *telemetry.Tracer) {
 // L/P ≈ 2.18 Mb/s figure read off a running monitor instead of derived on
 // paper.
 func e13HifiOverheadBps(quick bool) (live, analytic float64) {
-	k := sim.NewKernel()
+	k := newKernel()
 	defer k.Close()
 	h := topo.BuildHiPerD(k, 7)
 	cfg := nttcp.Config{MsgLen: 8192, InterSend: 30 * time.Millisecond,

@@ -8,7 +8,6 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/nttcp"
 	"repro/internal/report"
-	"repro/internal/sim"
 	"repro/internal/topo"
 )
 
@@ -38,7 +37,7 @@ func E1(quick bool) *report.Table {
 		{"parallel (all 27)", 27},
 		{"sequencer (serial)", 1},
 	} {
-		k := sim.NewKernel()
+		k := newKernel()
 		h := topo.BuildHiPerD(k, 1)
 		m := hifi.New(h.Mgmt, rtdsCfg(), mode.concurrency)
 		m.Submit(core.Request{Paths: h.PathList(), Metrics: []metrics.Metric{metrics.Throughput}})

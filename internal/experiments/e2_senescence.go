@@ -8,7 +8,6 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/nttcp"
 	"repro/internal/report"
-	"repro/internal/sim"
 	"repro/internal/topo"
 )
 
@@ -35,7 +34,7 @@ func E2(quick bool) *report.Table {
 		{"parallel (all 27)", 27},
 		{"sequencer (serial)", 1},
 	} {
-		k := sim.NewKernel()
+		k := newKernel()
 		h := topo.BuildHiPerD(k, 1)
 		m := hifi.New(h.Mgmt, cfg, mode.concurrency)
 		paths := h.PathList()

@@ -36,7 +36,7 @@ func E3(quick bool) *report.Table {
 
 	for _, burst := range bursts {
 		var samples []float64
-		k := sim.NewKernel()
+		k := newKernel()
 		nw := netsim.New(k, 13)
 		src := nw.NewHost("meas-src")
 		dst := nw.NewHost("meas-dst")

@@ -27,7 +27,7 @@ func E4(quick bool) *report.Table {
 	horizon := pick(quick, 30*time.Second, 2*time.Minute)
 
 	run := func(useExchange bool) (int, uint64, uint64, time.Duration) {
-		k := sim.NewKernel()
+		k := newKernel()
 		defer k.Close()
 		nw := netsim.New(k, 17)
 		srv := nw.NewHost("server")

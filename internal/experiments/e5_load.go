@@ -38,7 +38,7 @@ func E5(quick bool) *report.Table {
 	const wire = 10_000_000.0
 
 	for _, frac := range loads {
-		k := sim.NewKernel()
+		k := newKernel()
 		h := topo.BuildHiPerD(k, 1)
 
 		// Passive probe on the Ethernet.

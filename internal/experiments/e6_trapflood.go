@@ -6,7 +6,6 @@ import (
 	"repro/internal/mib"
 	"repro/internal/netsim"
 	"repro/internal/report"
-	"repro/internal/sim"
 	"repro/internal/snmp"
 )
 
@@ -26,7 +25,7 @@ func E6(quick bool) *report.Table {
 		bursts = []int{10, 100, 2000}
 	}
 	for _, n := range bursts {
-		k := sim.NewKernel()
+		k := newKernel()
 		nw := netsim.New(k, 23)
 		station := nw.NewHost("station")
 		element := nw.NewHost("element")

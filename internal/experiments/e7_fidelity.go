@@ -70,7 +70,7 @@ func E7(quick bool) *report.Table {
 
 	// Direct NTTCP measurement first.
 	{
-		k := sim.NewKernel()
+		k := newKernel()
 		h := topo.BuildHiPerD(k, 1)
 		runApp(k, h)
 		mon := hifi.New(h.Mgmt, nttcp.Config{MsgLen: 8192, InterSend: 30 * time.Millisecond, Count: 32}, 1)
@@ -94,7 +94,7 @@ func E7(quick bool) *report.Table {
 	}
 
 	for _, v := range variants {
-		k := sim.NewKernel()
+		k := newKernel()
 		h := topo.BuildHiPerD(k, 1)
 		runApp(k, h)
 		h.Clients[4].LocalClock = &vclock.Clock{Granularity: v.gran}
@@ -123,7 +123,7 @@ func E7(quick bool) *report.Table {
 	// Passive flow meter (the RTFM direction of the paper's related work):
 	// path-specific like NTTCP, passive like the counters.
 	{
-		k := sim.NewKernel()
+		k := newKernel()
 		h := topo.BuildHiPerD(k, 1)
 		runApp(k, h)
 		meter := flowmeter.New(k).AddRule(flowmeter.Rule{Granularity: flowmeter.ByHostPair})

@@ -34,7 +34,7 @@ func E8(quick bool) *report.Table {
 		run  func() outcome
 	}{
 		{"shared LAN, healthy", func() outcome {
-			k := sim.NewKernel()
+			k := newKernel()
 			defer k.Close()
 			nw := netsim.New(k, 31)
 			a, b := nw.NewHost("a"), nw.NewHost("b")
@@ -48,7 +48,7 @@ func E8(quick bool) *report.Table {
 			return outcome{"reachable", verdict(media.seen), verdict(*app), media.seen}
 		}},
 		{"asymmetric: b->a flows, a->b black-holed", func() outcome {
-			k := sim.NewKernel()
+			k := newKernel()
 			defer k.Close()
 			nw := netsim.New(k, 32)
 			a, b := nw.NewHost("a"), nw.NewHost("b")
@@ -68,7 +68,7 @@ func E8(quick bool) *report.Table {
 			return outcome{"unreachable", verdict(media.seen), verdict(*app), !media.seen}
 		}},
 		{"switched fabric (no shared wire)", func() outcome {
-			k := sim.NewKernel()
+			k := newKernel()
 			defer k.Close()
 			nw := netsim.New(k, 33)
 			a, b := nw.NewHost("a"), nw.NewHost("b")
@@ -84,7 +84,7 @@ func E8(quick bool) *report.Table {
 			return outcome{"reachable", "no visibility", verdict(*app), false}
 		}},
 		{"target host down", func() outcome {
-			k := sim.NewKernel()
+			k := newKernel()
 			defer k.Close()
 			nw := netsim.New(k, 34)
 			a, b := nw.NewHost("a"), nw.NewHost("b")

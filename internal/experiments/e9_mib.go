@@ -26,7 +26,7 @@ func E9(quick bool) *report.Table {
 			"example objects"},
 	}
 	_ = quick
-	k := sim.NewKernel()
+	k := newKernel()
 	defer k.Close()
 	h := topo.BuildHiPerD(k, 1)
 

@@ -12,7 +12,38 @@ import (
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/report"
+	"repro/internal/sim"
 )
+
+// shardCount selects how experiment kernels are built: 0 (default) is the
+// legacy plain kernel; n >= 1 makes every experiment run as shard 0 of an
+// n-shard group, pushing the whole suite through the windowed scheduler.
+// The experiments' workloads are single-region, so the peers stay idle and
+// the solo-shard fast path keeps the cost negligible — the point of the
+// mode is transparency: the tables must come out byte-identical, which
+// TestSingleShardBitIdentical and TestMultiShardDeterminism assert.
+var shardCount int
+
+// shardLookahead is the synthetic lookahead of transparency-mode groups.
+// Experiment workloads never cross shards, so any positive bound works.
+const shardLookahead = time.Millisecond
+
+// SetShards selects the kernel construction mode for subsequent runs: 0
+// restores the plain kernel, n >= 1 runs experiments on n-shard groups.
+// It must not be called concurrently with RunAll.
+func SetShards(n int) { shardCount = n }
+
+// Shards reports the current kernel construction mode.
+func Shards() int { return shardCount }
+
+// newKernel builds the kernel an experiment runs on, honoring SetShards.
+// Closing the returned kernel closes its whole group.
+func newKernel() *sim.Kernel {
+	if shardCount <= 0 {
+		return sim.NewKernel()
+	}
+	return sim.NewShardGroup(shardCount, shardLookahead).Shard(0)
+}
 
 // Experiment describes one registered experiment.
 type Experiment struct {
@@ -37,6 +68,7 @@ func All() []Experiment {
 		{"E11", "Background liveness polling: latency vs overhead", E11},
 		{"E12", "Resilience layer under chaos: latency, staleness, waste", E12},
 		{"E13", "Self-telemetry: zero-perturbation monitor-of-the-monitor", E13},
+		{"E14", "Sharded kernel scaling: fixed workload vs shard count", E14},
 		{"A1", "Ablation: trap vs inform delivery under load", A1},
 		{"A2", "Ablation: test sequencer concurrency frontier", A2},
 		{"A3", "Ablation: GetNext walk vs GetBulk retrieval", A3},

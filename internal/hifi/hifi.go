@@ -135,6 +135,33 @@ func (m *Monitor) Submit(req core.Request) {
 	}
 }
 
+// ProvisionServerSim installs the NTTCP measurement client on an explicit
+// node, for paths originating at hosts Submit cannot resolve because they
+// live in a foreign network — another region of a sharded topology. Call at
+// wiring time, before the run.
+func (m *Monitor) ProvisionServerSim(node *netsim.Node) {
+	if node == nil {
+		return
+	}
+	if _, ok := m.serverSims[node.Name]; !ok {
+		m.serverSims[node.Name] = nttcp.NewClient(node, m.Cfg)
+	}
+}
+
+// ProvisionResponder installs the NTTCP responder (client simulator) on an
+// explicit node, the foreign-network companion to ProvisionServerSim: in a
+// sharded topology a path's destination often lives in another region, on
+// another shard. The responder's socket and proc run on the node's own
+// kernel, so serving stays shard-correct.
+func (m *Monitor) ProvisionResponder(node *netsim.Node) {
+	if node == nil {
+		return
+	}
+	if _, ok := m.responders[node.Name]; !ok {
+		m.responders[node.Name] = nttcp.StartServer(node, 0)
+	}
+}
+
 // Start spawns the NetMon collector / test sequencer proc.
 func (m *Monitor) Start() {
 	if m.started {

@@ -1,0 +1,82 @@
+package hifi
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/nttcp"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// TestShardedHifiCrossRegionMeasurement: a per-region hifi director
+// measures paths whose destinations live in a foreign region on another
+// shard, with the responders provisioned explicitly. Measurements stay
+// QualityDirect — the point of dragging NTTCP across the WAN.
+func TestShardedHifiCrossRegionMeasurement(t *testing.T) {
+	g := sim.NewShardGroup(2, topo.WANPropDelay)
+	defer g.Close()
+	s := topo.BuildShardedScaled(g, 5, 2, 1, 2)
+	r0, r1 := s.Regions[0], s.Regions[1]
+	cfg := nttcp.Config{MsgLen: 1024, InterSend: 5 * time.Millisecond, Count: 8, Timeout: 2 * time.Second}
+	m := New(r0.Mgmt, cfg, 1)
+	paths := core.CrossProductPaths(r0.ServerRefs(), r1.ClientRefs())
+	m.Submit(core.Request{Paths: paths, Metrics: []metrics.Metric{metrics.Throughput, metrics.OneWayLatency, metrics.Reachability}})
+	// Submit resolved the local origins but could not see the foreign
+	// destinations; provision those responders by node.
+	for _, c := range r1.Clients {
+		m.ProvisionResponder(c)
+	}
+	m.Start()
+	g.Shard(0).RunUntil(30 * time.Second)
+
+	if m.Sweeps == 0 {
+		t.Fatal("no sweep completed")
+	}
+	for _, p := range paths {
+		reach, ok := m.Query(p.ID, metrics.Reachability)
+		if !ok || !reach.Reached() {
+			t.Fatalf("path %s reachability: %v %v", p.ID, reach, ok)
+		}
+		lat, ok := m.Query(p.ID, metrics.OneWayLatency)
+		if !ok || !lat.OK() {
+			t.Fatalf("path %s latency: %v %v", p.ID, lat, ok)
+		}
+		if lat.Quality != core.QualityDirect {
+			t.Fatalf("path %s not QualityDirect", p.ID)
+		}
+		// One-way latency must include the 2 ms WAN propagation.
+		if lat.Value < topo.WANPropDelay.Seconds() {
+			t.Fatalf("path %s latency %.4fs below one WAN hop", p.ID, lat.Value)
+		}
+	}
+	if g.CrossShardMessages() == 0 {
+		t.Fatal("NTTCP traffic crossed no shard boundary")
+	}
+}
+
+// TestProvisionServerSimForeignOrigin: a director can also own paths whose
+// origin is foreign, provided the server simulator is provisioned by node
+// and the sweep stays serial (the sequencer measures from its own proc).
+func TestProvisionServerSimForeignOrigin(t *testing.T) {
+	g := sim.NewShardGroup(2, topo.WANPropDelay)
+	defer g.Close()
+	s := topo.BuildShardedScaled(g, 8, 2, 1, 1)
+	r0, r1 := s.Regions[0], s.Regions[1]
+	cfg := nttcp.Config{MsgLen: 512, InterSend: 5 * time.Millisecond, Count: 4, Timeout: 2 * time.Second}
+	m := New(r0.Mgmt, cfg, 1)
+	// Path from region 1's server to region 0's client, owned by region 0's
+	// director: both endpoints need explicit provisioning on the origin
+	// side, and the local destination resolves via Submit.
+	paths := core.CrossProductPaths(r1.ServerRefs(), r0.ClientRefs())
+	m.ProvisionServerSim(r1.Servers[0])
+	m.Submit(core.Request{Paths: paths, Metrics: []metrics.Metric{metrics.Reachability}})
+	m.Start()
+	g.Shard(0).RunUntil(30 * time.Second)
+	reach, ok := m.Query(paths[0].ID, metrics.Reachability)
+	if !ok || !reach.Reached() {
+		t.Fatalf("foreign-origin path: %v %v", reach, ok)
+	}
+}

@@ -1,0 +1,127 @@
+package netsim
+
+import "fmt"
+
+// ShardLink is a full-duplex point-to-point medium whose two endpoints may
+// live in different networks on different shards of a sim.ShardGroup. It is
+// the simulated form of a cut edge in a partitioned topology: traffic
+// crossing it is handed between shards as a timestamped event, with the
+// link's propagation delay providing the conservative lookahead bound.
+//
+// Each direction is an independent transmitter, exactly like Link.
+// Serialization and loss happen in the sending shard's context (drawing the
+// sender network's RNG, so per-shard randomness stays shard-owned);
+// delivery at now+PropDelay is scheduled through ShardGroup.Send when the
+// endpoints are on different shards and as an ordinary local event when
+// they are not. Because the same single delivery event fires either way,
+// a topology built with ShardLinks produces identical packet timing at any
+// shard count — the property the cross-shard-determinism experiments rely
+// on (when LossProb is zero; loss draws come from per-network RNGs whose
+// consumption is shard-count-independent only for loss-free links).
+type ShardLink struct {
+	name string
+	cfg  MediumConfig
+	ends [2]shardEnd
+}
+
+type shardEnd struct {
+	net   *Network
+	shard int
+	ifc   *Iface
+	busy  bool
+}
+
+// ConnectShards joins a node in one network to a node in another (possibly
+// the same) with a point-to-point link that may cross shard boundaries.
+// Both networks must run on kernels of the same ShardGroup — or on plain
+// ungrouped kernels sharing the same kernel. When the endpoints are on
+// different shards, cfg.PropDelay must be at least the group's lookahead;
+// anything shorter could deliver inside a window a peer has already
+// executed, so it panics at construction rather than mid-run.
+//
+// Node names should be unique across the joined networks: routing resolves
+// next hops by name, and the endpoints become each other's neighbors.
+func ConnectShards(name string, a, b *Node, cfg MediumConfig) *ShardLink {
+	aK, bK := a.net.K, b.net.K
+	ga, gb := aK.Group(), bK.Group()
+	if ga != gb {
+		panic(fmt.Sprintf("netsim: ConnectShards %q endpoints belong to different shard groups", name))
+	}
+	if ga == nil && aK != bK {
+		panic(fmt.Sprintf("netsim: ConnectShards %q endpoints on unrelated kernels", name))
+	}
+	sa, sb := aK.ShardIndex(), bK.ShardIndex()
+	if ga != nil && sa != sb && cfg.PropDelay < ga.Lookahead() {
+		panic(fmt.Sprintf("netsim: ConnectShards %q PropDelay %v below group lookahead %v",
+			name, cfg.PropDelay, ga.Lookahead()))
+	}
+	sl := &ShardLink{name: name, cfg: cfg}
+	sl.ends[0] = shardEnd{net: a.net, shard: sa}
+	sl.ends[1] = shardEnd{net: b.net, shard: sb}
+	sl.ends[0].ifc = a.addIface(sl, cfg.QueueCap)
+	sl.ends[1].ifc = b.addIface(sl, cfg.QueueCap)
+	a.net.media = append(a.net.media, sl)
+	if b.net != a.net {
+		b.net.media = append(b.net.media, sl)
+	}
+	return sl
+}
+
+// Name implements Medium.
+func (sl *ShardLink) Name() string { return sl.name }
+
+// Config implements Medium.
+func (sl *ShardLink) Config() MediumConfig { return sl.cfg }
+
+// Ifaces implements Medium.
+func (sl *ShardLink) Ifaces() []*Iface { return []*Iface{sl.ends[0].ifc, sl.ends[1].ifc} }
+
+// CrossShard reports whether the endpoints live on different shards.
+func (sl *ShardLink) CrossShard() bool { return sl.ends[0].shard != sl.ends[1].shard }
+
+func (sl *ShardLink) dir(ifc *Iface) int {
+	if ifc == sl.ends[0].ifc {
+		return 0
+	}
+	return 1
+}
+
+func (sl *ShardLink) notify(ifc *Iface) {
+	d := sl.dir(ifc)
+	end := &sl.ends[d]
+	if end.busy {
+		return
+	}
+	pkt := ifc.pop()
+	if pkt == nil {
+		return
+	}
+	end.busy = true
+	tx := sl.cfg.txTime(pkt)
+	end.net.K.After(tx, func() {
+		end.busy = false
+		ifc.countOut(pkt)
+		if end.net.lost(sl.cfg.LossProb) {
+			end.net.drop(DropCorrupted, pkt)
+		} else {
+			sl.deliver(d, pkt)
+		}
+		sl.notify(ifc)
+	})
+}
+
+// deliver hands the packet to the far endpoint at now+PropDelay: a local
+// event when both ends share a shard, a cross-shard send otherwise. The
+// receiving closure runs in the destination shard's context, so from there
+// on the packet is owned by that shard.
+func (sl *ShardLink) deliver(d int, pkt *Packet) {
+	src, dst := &sl.ends[d], &sl.ends[1-d]
+	peer := dst.ifc
+	at := src.net.K.Now() + sl.cfg.PropDelay
+	g := src.net.K.Group()
+	if g == nil || src.shard == dst.shard {
+		src.net.K.At(at, func() { peer.receive(pkt) })
+		return
+	}
+	g.Send(src.shard, dst.shard, at, func() { peer.receive(pkt) })
+}

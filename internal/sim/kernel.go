@@ -30,12 +30,18 @@ type Kernel struct {
 	now     time.Duration
 	seq     uint64
 	events  eventQueue
-	free    []*event // recycled events awaiting reuse
+	free    []*event      // recycled events awaiting reuse
 	parked  chan struct{} // signalled when the running proc parks or ends
 	procs   map[*Proc]struct{}
 	running bool
 	closed  bool
 	nprocs  int // procs spawned over the kernel lifetime (for naming)
+
+	// group/shard are set when the kernel is one wheel of a ShardGroup;
+	// Run/RunUntil/Close then drive the whole group so that member kernels
+	// stay synchronized under the conservative-lookahead protocol.
+	group *ShardGroup
+	shard int
 }
 
 // NewKernel returns an empty kernel with the clock at zero.
@@ -205,13 +211,24 @@ func (k *Kernel) resumeProc(p *Proc) {
 // Run executes events until the queue is empty. It returns the number of
 // events processed. Procs blocked without timeouts when the queue drains
 // simply remain parked; call Close to release them.
+//
+// For a kernel that is a member of a ShardGroup, Run drives the whole group
+// (all shards advance together under the lookahead protocol) and returns
+// the events processed across the group.
 func (k *Kernel) Run() int {
+	if k.group != nil {
+		return k.group.Run()
+	}
 	return k.run(-1)
 }
 
 // RunUntil executes events with timestamps at or before deadline, then sets
-// the clock to deadline. It returns the number of events processed.
+// the clock to deadline. It returns the number of events processed. Like
+// Run, a grouped kernel delegates to its ShardGroup.
 func (k *Kernel) RunUntil(deadline time.Duration) int {
+	if k.group != nil {
+		return k.group.RunUntil(deadline)
+	}
 	n := k.run(deadline)
 	if k.now < deadline {
 		k.now = deadline
@@ -257,6 +274,69 @@ func (k *Kernel) run(deadline time.Duration) int {
 	return n
 }
 
+// Group returns the ShardGroup this kernel belongs to, or nil for an
+// ungrouped kernel.
+func (k *Kernel) Group() *ShardGroup { return k.group }
+
+// ShardIndex returns this kernel's shard number within its group; it is 0
+// for an ungrouped kernel.
+func (k *Kernel) ShardIndex() int { return k.shard }
+
+// peekNext returns the timestamp of the earliest pending event.
+func (k *Kernel) peekNext() (time.Duration, bool) {
+	if k.events.len() == 0 {
+		return 0, false
+	}
+	return k.events.a[0].at, true
+}
+
+// runBefore processes events with timestamps strictly below bound, leaving
+// the clock at the last processed event (it never advances the clock to
+// bound — the group does that when its whole run finishes). When stopOnSend
+// is set it additionally returns as soon as an event stages a cross-shard
+// message, so a solo-active shard can run ahead of the lookahead window
+// without risking a causality violation from a peer's reply.
+func (k *Kernel) runBefore(bound time.Duration, stopOnSend bool) int {
+	if k.running {
+		panic("sim: Run called reentrantly")
+	}
+	k.running = true
+	defer func() { k.running = false }()
+	staged0 := uint64(0)
+	if stopOnSend && k.group != nil {
+		staged0 = k.group.sendSeq[k.shard]
+	}
+	n := 0
+	for k.events.len() > 0 {
+		ev := k.events.a[0]
+		if ev.at >= bound {
+			break
+		}
+		k.events.pop()
+		k.now = ev.at
+		if ev.period > 0 {
+			ev.fn()
+			if ev.period > 0 {
+				ev.at += ev.period
+				k.seq++
+				ev.seq = k.seq
+				k.events.push(ev)
+			} else {
+				k.release(ev)
+			}
+		} else {
+			fn := ev.fn
+			k.release(ev)
+			fn()
+		}
+		n++
+		if stopOnSend && k.group != nil && k.group.sendSeq[k.shard] != staged0 {
+			break
+		}
+	}
+	return n
+}
+
 // Steps reports how many events are currently pending. Cancelled events are
 // removed from the heap eagerly, so this is O(1).
 func (k *Kernel) Steps() int {
@@ -265,7 +345,18 @@ func (k *Kernel) Steps() int {
 
 // Close terminates all parked procs and releases their goroutines. The
 // kernel must not be used afterwards. It is safe to call more than once.
+// Closing a grouped kernel closes the whole ShardGroup: member kernels
+// only ever live and die together.
 func (k *Kernel) Close() {
+	if k.group != nil {
+		k.group.Close()
+		return
+	}
+	k.closeLocal()
+}
+
+// closeLocal tears down this kernel only; ShardGroup.Close fans out to it.
+func (k *Kernel) closeLocal() {
 	if k.closed {
 		return
 	}

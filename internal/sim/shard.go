@@ -1,0 +1,369 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// ShardGroup couples several kernels — one per shard of a partitioned
+// simulation — and runs them in parallel on separate goroutines under a
+// conservative synchronization protocol.
+//
+// The protocol is the synchronous (bounded-lag) variant of conservative
+// parallel discrete-event simulation: all cross-shard interactions carry a
+// minimum latency, the lookahead L, so events inside a window [T, T+L) on
+// different shards cannot affect each other and may execute concurrently.
+// The group repeatedly picks T as the earliest pending timestamp across all
+// shards, lets every shard with work process its events below T+L on its
+// own goroutine, barriers, and exchanges the cross-shard messages staged
+// during the window — each of which, by the lookahead rule, is timestamped
+// at or after T+L and therefore lands in a strictly later window. The
+// window bound plays the role of Chandy–Misra null messages: it is the
+// promise "no shard will send you anything before T+L".
+//
+// Determinism: within a window each shard touches only its own state, and
+// staged messages are merged in (timestamp, source shard, source sequence)
+// order before delivery, so a run's event order — and every table derived
+// from it — is a pure function of (initial state, shard count). A
+// single-shard group degenerates to the plain kernel loop and is
+// bit-identical to an ungrouped Kernel.
+//
+// Ownership discipline: each shard's kernel, network, and procs must only
+// be touched from that shard's execution context (its events and procs).
+// The only sanctioned cross-shard interaction during a run is Send. Wiring
+// (topology construction, Spawn, scheduling the first events) happens
+// before the first Run/Step from a single goroutine.
+type ShardGroup struct {
+	shards    []*Kernel
+	lookahead time.Duration
+
+	// stage[s] holds the messages shard s sent during the current window;
+	// only shard s's goroutine appends, and the coordinator drains it after
+	// the barrier, so no lock is needed.
+	stage   [][]xmsg
+	sendSeq []uint64
+	merge   []xmsg // reused scratch for deliverStaged's deterministic sort
+
+	running bool
+	windows uint64
+	xmsgs   uint64
+	closed  bool
+}
+
+// xmsg is a timestamped cross-shard event awaiting delivery.
+type xmsg struct {
+	at   time.Duration
+	from int
+	to   int
+	seq  uint64
+	fn   func()
+}
+
+// NewShardGroup creates n kernels bound into one group. The lookahead is
+// the minimum virtual-time distance of every cross-shard interaction;
+// Send enforces it. Groups with more than one shard require a positive
+// lookahead; a single-shard group accepts any value (it never synchronizes).
+func NewShardGroup(n int, lookahead time.Duration) *ShardGroup {
+	if n < 1 {
+		panic("sim: ShardGroup needs at least one shard")
+	}
+	if n > 1 && lookahead <= 0 {
+		panic("sim: multi-shard group needs positive lookahead")
+	}
+	g := &ShardGroup{
+		lookahead: lookahead,
+		shards:    make([]*Kernel, n),
+		stage:     make([][]xmsg, n),
+		sendSeq:   make([]uint64, n),
+	}
+	for i := range g.shards {
+		k := NewKernel()
+		k.group = g
+		k.shard = i
+		g.shards[i] = k
+	}
+	return g
+}
+
+// Shards returns the number of shards.
+func (g *ShardGroup) Shards() int { return len(g.shards) }
+
+// Shard returns the i-th shard's kernel.
+func (g *ShardGroup) Shard(i int) *Kernel { return g.shards[i] }
+
+// Lookahead returns the group's conservative lookahead bound.
+func (g *ShardGroup) Lookahead() time.Duration { return g.lookahead }
+
+// Windows reports how many synchronization windows have executed.
+func (g *ShardGroup) Windows() uint64 { return g.windows }
+
+// CrossShardMessages reports how many cross-shard events have been staged
+// over the group's lifetime.
+func (g *ShardGroup) CrossShardMessages() uint64 { return g.xmsgs }
+
+// Send schedules fn to run on shard to at virtual time at. It is the
+// cross-shard channel of the group: the only way one shard may cause an
+// event on another. When from != to, at must be at least the sending
+// shard's current time plus the lookahead — violating that would let a
+// message land inside a window a peer has already executed, so it panics.
+// A same-shard send is an ordinary local event with no lookahead bound.
+//
+// Send must be called from the sending shard's execution context (one of
+// its events or procs), or before the group has started running.
+func (g *ShardGroup) Send(from, to int, at time.Duration, fn func()) {
+	src := g.shards[from]
+	if to == from {
+		if at < src.now {
+			at = src.now
+		}
+		src.At(at, fn)
+		return
+	}
+	if at < src.now+g.lookahead {
+		panic(fmt.Sprintf("sim: cross-shard send %d->%d at %v violates lookahead %v (shard %d is at %v)",
+			from, to, at, g.lookahead, from, src.now))
+	}
+	g.sendSeq[from]++
+	g.stage[from] = append(g.stage[from], xmsg{at: at, from: from, to: to, seq: g.sendSeq[from], fn: fn})
+}
+
+// Run executes events until every shard's queue is empty and no cross-shard
+// message is in flight. It returns the number of events processed across
+// the group.
+func (g *ShardGroup) Run() int { return g.run(-1) }
+
+// RunUntil executes events with timestamps at or before deadline, then sets
+// every shard's clock to deadline. It returns the number of events
+// processed across the group.
+func (g *ShardGroup) RunUntil(deadline time.Duration) int { return g.run(deadline) }
+
+// Step executes exactly one synchronization window (delivering any staged
+// cross-shard messages first) and reports whether any work remained. It is
+// the single-step debugging companion to Run and, like it, parks the caller
+// while shard procs execute.
+func (g *ShardGroup) Step() bool {
+	g.enter()
+	defer g.leave()
+	workers := g.startWorkers()
+	defer workers.stop()
+	_, ok := g.window(-1, workers)
+	return ok
+}
+
+func (g *ShardGroup) enter() {
+	if g.running {
+		panic("sim: Run called reentrantly")
+	}
+	g.running = true
+}
+
+func (g *ShardGroup) leave() { g.running = false }
+
+func (g *ShardGroup) run(deadline time.Duration) int {
+	// Single-shard fast path: no peers means no conservative constraint;
+	// this is byte-for-byte the plain Kernel loop, which is what makes
+	// 1-shard runs bit-identical to the legacy kernel.
+	if len(g.shards) == 1 {
+		g.enter()
+		defer g.leave()
+		k := g.shards[0]
+		g.deliverStaged()
+		n := k.run(deadline)
+		if deadline >= 0 && k.now < deadline {
+			k.now = deadline
+		}
+		return n
+	}
+	g.enter()
+	defer g.leave()
+	workers := g.startWorkers()
+	defer workers.stop()
+	total := 0
+	for {
+		n, ok := g.window(deadline, workers)
+		if !ok {
+			break
+		}
+		total += n
+	}
+	if deadline >= 0 {
+		for _, k := range g.shards {
+			if k.now < deadline {
+				k.now = deadline
+			}
+		}
+	}
+	return total
+}
+
+// window delivers staged messages, then executes one conservative window
+// across the shards. It returns the events processed and whether there was
+// anything to do within the deadline.
+func (g *ShardGroup) window(deadline time.Duration, w *workerSet) (int, bool) {
+	g.deliverStaged()
+	T := time.Duration(-1)
+	active := 0
+	solo := -1
+	for i, k := range g.shards {
+		at, ok := k.peekNext()
+		if !ok {
+			continue
+		}
+		if T < 0 || at < T {
+			T = at
+		}
+		active++
+		solo = i
+	}
+	if T < 0 || (deadline >= 0 && T > deadline) {
+		return 0, false
+	}
+	bound := T + g.lookahead
+	stopOnSend := false
+	if active == 1 {
+		// Solo optimization: with every other shard idle and nothing in
+		// flight, the only future cross-shard influence would be a reply to
+		// a message this shard itself sends — so it may run arbitrarily far
+		// ahead as long as it stops the moment it stages a send.
+		bound = time.Duration(1<<63 - 1)
+		stopOnSend = true
+	}
+	if deadline >= 0 && bound > deadline {
+		// RunUntil semantics are inclusive of the deadline; the window bound
+		// is exclusive, so nudge it one tick past the deadline.
+		bound = deadline + 1
+	}
+	n := 0
+	if stopOnSend {
+		n = w.runOne(solo, bound, true)
+	} else {
+		n = w.runAll(g, bound)
+	}
+	g.windows++
+	return n, true
+}
+
+// deliverStaged merges every staged cross-shard message in deterministic
+// (at, from, seq) order and schedules each on its destination shard. The
+// merge buffer is reused across windows so a steady exchange allocates
+// nothing.
+func (g *ShardGroup) deliverStaged() {
+	all := g.merge[:0]
+	for i := range g.stage {
+		if len(g.stage[i]) > 0 {
+			all = append(all, g.stage[i]...)
+			g.stage[i] = g.stage[i][:0]
+		}
+	}
+	g.merge = all[:0]
+	if len(all) == 0 {
+		return
+	}
+	// Insertion sort: windows stage few messages, and stability by (at,
+	// from, seq) is the determinism contract.
+	for i := 1; i < len(all); i++ {
+		for j := i; j > 0 && lessMsg(all[j], all[j-1]); j-- {
+			all[j], all[j-1] = all[j-1], all[j]
+		}
+	}
+	for _, m := range all {
+		dst := g.shards[m.to]
+		at := m.at
+		if at < dst.now {
+			// Cannot happen under the lookahead rule; guard anyway so a
+			// stale clock never fires an event in the past.
+			at = dst.now
+		}
+		dst.At(at, m.fn)
+		g.xmsgs++
+	}
+}
+
+func lessMsg(a, b xmsg) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.from != b.from {
+		return a.from < b.from
+	}
+	return a.seq < b.seq
+}
+
+// Close tears down every shard kernel (releasing parked procs) and the
+// group. It is safe to call more than once.
+func (g *ShardGroup) Close() {
+	if g.closed {
+		return
+	}
+	g.closed = true
+	for _, k := range g.shards {
+		k.closeLocal()
+	}
+}
+
+// workerSet owns one goroutine per shard for the duration of a run; each
+// window is a pair of channel operations per active shard. Worker
+// goroutines exist so that shard procs (which park/resume against their own
+// kernel) always find a scheduler thread to hand control back to.
+type workerSet struct {
+	work       []chan workItem
+	done       []chan int
+	dispatched []bool // reused per-window dispatch mask
+}
+
+type workItem struct {
+	bound      time.Duration
+	stopOnSend bool
+}
+
+func (g *ShardGroup) startWorkers() *workerSet {
+	w := &workerSet{
+		work:       make([]chan workItem, len(g.shards)),
+		done:       make([]chan int, len(g.shards)),
+		dispatched: make([]bool, len(g.shards)),
+	}
+	for i, k := range g.shards {
+		w.work[i] = make(chan workItem)
+		w.done[i] = make(chan int)
+		go func(k *Kernel, work chan workItem, done chan int) {
+			for item := range work {
+				done <- k.runBefore(item.bound, item.stopOnSend)
+			}
+		}(k, w.work[i], w.done[i])
+	}
+	return w
+}
+
+// runAll dispatches the window bound to every shard with pending work below
+// it and collects their event counts — the barrier of the protocol.
+func (w *workerSet) runAll(g *ShardGroup, bound time.Duration) int {
+	dispatched := w.dispatched
+	for i := range dispatched {
+		dispatched[i] = false
+	}
+	for i, k := range g.shards {
+		if at, ok := k.peekNext(); ok && at < bound {
+			w.work[i] <- workItem{bound: bound}
+			dispatched[i] = true
+		}
+	}
+	n := 0
+	for i := range g.shards {
+		if dispatched[i] {
+			n += <-w.done[i]
+		}
+	}
+	return n
+}
+
+// runOne drives a single shard through its window.
+func (w *workerSet) runOne(shard int, bound time.Duration, stopOnSend bool) int {
+	w.work[shard] <- workItem{bound: bound, stopOnSend: stopOnSend}
+	return <-w.done[shard]
+}
+
+func (w *workerSet) stop() {
+	for _, c := range w.work {
+		close(c)
+	}
+}

@@ -1,0 +1,48 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkCrossShardHandoff measures the cost of one cross-shard event
+// hand-off: staging the message on the sender, the deterministic merge at
+// the barrier, and delivery into the destination heap. A two-shard
+// ping-pong makes every simulated event exactly one hand-off.
+func BenchmarkCrossShardHandoff(b *testing.B) {
+	const L = time.Microsecond
+	g := NewShardGroup(2, L)
+	defer g.Close()
+	remaining := b.N
+	var bounce func(from int)
+	bounce = func(from int) {
+		remaining--
+		if remaining <= 0 {
+			return
+		}
+		to := 1 - from
+		g.Send(from, to, g.Shard(from).Now()+L, func() { bounce(to) })
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	g.Shard(0).At(0, func() { bounce(0) })
+	g.Run()
+}
+
+// BenchmarkShardBarrier measures the per-window synchronization cost with
+// every shard active: each window dispatches both shards to their worker
+// goroutines and waits at the barrier, with one trivial event per shard per
+// window, so the number reported is dominated by dispatch + barrier.
+func BenchmarkShardBarrier(b *testing.B) {
+	const L = time.Microsecond
+	g := NewShardGroup(2, L)
+	defer g.Close()
+	sink := make([]int, 2)
+	for s := 0; s < 2; s++ {
+		s := s
+		g.Shard(s).Every(L, func() { sink[s]++ })
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	g.RunUntil(time.Duration(b.N) * L)
+}

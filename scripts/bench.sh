@@ -17,7 +17,7 @@ trap 'rm -f "$raw"' EXIT
 # minimum: scheduler noise only ever slows a run down, so min-of-N is the
 # low-variance estimate the regression gate needs.
 echo "== micro-benchmarks (benchtime=$benchtime, count=$benchcount, keeping min) ==" >&2
-go test -run '^$' -bench 'BenchmarkSchedule$|BenchmarkEventDispatch$|BenchmarkProcSwitch$|BenchmarkEvery$|BenchmarkQueuePutGet$' \
+go test -run '^$' -bench 'BenchmarkSchedule$|BenchmarkEventDispatch$|BenchmarkProcSwitch$|BenchmarkEvery$|BenchmarkQueuePutGet$|BenchmarkCrossShardHandoff$|BenchmarkShardBarrier$' \
     -benchmem -benchtime "$benchtime" -count "$benchcount" ./internal/sim/ | tee -a "$raw" >&2
 go test -run '^$' -bench 'BenchmarkRecord$' \
     -benchmem -benchtime "$benchtime" -count "$benchcount" ./internal/core/ | tee -a "$raw" >&2

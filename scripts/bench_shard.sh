@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# bench_shard.sh — sharded-kernel scaling sweep. Times the fixed E14
+# workload (8 regions, 1 server + 4 clients each, 12s of virtual time) at
+# 1/2/4/8 shards against the wall clock and writes BENCH_shard.json with
+# per-count ns/op and the speedup relative to one shard.
+#
+# The numbers are hardware-dependent by design — that is why they live here
+# and not in E14's deterministic table. On a 1-CPU host expect speedup <= 1
+# (the barrier costs something and there is no parallelism to buy it back);
+# the gate for correctness is the table, the gate for perf is bench-check.
+#
+# Usage: scripts/bench_shard.sh [output.json]
+#   BENCHTIME   per-benchmark time or iteration budget (default 5x)
+#   BENCHCOUNT  repetitions per shard count, minimum kept (default 3)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_shard.json}"
+benchtime="${BENCHTIME:-5x}"
+benchcount="${BENCHCOUNT:-3}"
+
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+echo "== sharded workload sweep (benchtime=$benchtime, count=$benchcount, keeping min) ==" >&2
+go test -run '^$' -bench 'BenchmarkShardedWorkload$' \
+    -benchtime "$benchtime" -count "$benchcount" ./internal/experiments/ | tee "$raw" >&2
+
+ncpu=$(go env GOMAXPROCS 2>/dev/null || echo 1)
+[ "$ncpu" -ge 1 ] 2>/dev/null || ncpu=$(getconf _NPROCESSORS_ONLN)
+
+{
+    printf '{\n'
+    printf '  "date": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+    printf '  "go": "%s",\n' "$(go env GOVERSION)"
+    printf '  "gomaxprocs": %s,\n' "$ncpu"
+    printf '  "workload": "E14 quick: 8 regions, 1 server + 4 clients each, 12s virtual",\n'
+    printf '  "sweep": [\n'
+    awk '
+        # Sub-benchmark names look like BenchmarkShardedWorkload/shards-4
+        # with a -<GOMAXPROCS> suffix appended on multi-core hosts, so the
+        # shard count is the first number after "shards-".
+        /^BenchmarkShardedWorkload\// {
+            if (!match($1, /shards-[0-9]+/)) next
+            sc = substr($1, RSTART + 7, RLENGTH - 7) + 0
+            if (!(sc in ns)) { order[++n] = sc }
+            if (!(sc in ns) || $3 + 0 < ns[sc] + 0) { ns[sc] = $3 }
+        }
+        END {
+            base = ns[order[1]]
+            for (i = 1; i <= n; i++) {
+                sc = order[i]
+                if (i > 1) printf(",\n")
+                printf("    {\"shards\": %d, \"ns_per_op\": %s, \"speedup\": %.2f}",
+                       sc, ns[sc], base / ns[sc])
+            }
+            printf("\n")
+        }
+    ' "$raw"
+    printf '  ]\n}\n'
+} > "$out"
+echo "wrote $out" >&2
