@@ -30,9 +30,11 @@ test-shard:
 	$(GO) test -race -run 'TestE14Shape' ./internal/experiments/
 
 # Project-specific static analysis: simulation determinism, BER/SNMP error
-# discipline, timer leaks, locks held across yield points (see DESIGN.md §8).
+# discipline, timer leaks, locks held across yield points, map-order
+# determinism, and the //perf:noalloc escape gate (see DESIGN.md §8). Writes
+# the machine-readable findings to analyze_diags.json for CI to archive.
 analyze:
-	$(GO) run ./cmd/analyze ./...
+	$(GO) run ./cmd/analyze -json analyze_diags.json ./...
 
 # A few seconds of coverage-guided fuzzing per codec target — enough to
 # exercise the checked-in corpora plus a short exploration burst.

@@ -3,11 +3,22 @@
 // repository carries no external dependencies. It provides the Analyzer /
 // Pass / Diagnostic vocabulary, a package loader that type-checks the module
 // offline using the toolchain's export data (see load.go), and a driver that
-// runs a suite of analyzers over loaded packages (see run.go).
+// runs a suite of analyzers over loaded packages in parallel (see run.go).
 //
 // The project-specific passes live in subpackages (simdeterminism,
-// berencheck, timerstop, locksafe) and are wired together by cmd/analyze,
-// which `make analyze` and `make ci` run over the whole repository.
+// berencheck, timerstop, locksafe, maprange, noalloc) and are wired together
+// by cmd/analyze, which `make analyze` and `make ci` run over the whole
+// repository.
+//
+// # Interprocedural facts
+//
+// Before any pass runs, the driver computes per-function summary facts
+// (mayYield / schedulesEvents / recordsToDB — see the facts subpackage)
+// bottom-up over the SCC condensation of a whole-universe call graph, and
+// hands the resulting database to every Pass. Passes query it with
+// Pass.Facts.Lookup on any statically resolved callee, which is how
+// locksafe sees through helper functions to a transitive yield and how
+// maprange knows a loop body eventually records measurements.
 //
 // # Suppressing a finding
 //
@@ -16,10 +27,17 @@
 //	//lint:allow <key> [reason]
 //
 // placed either on the flagged line or on the line directly above it. Keys
-// are per-analyzer ("wallclock", "globalrand", "droperr", "leaktimer",
-// "lockyield"); the reason text is free-form but strongly encouraged. The
-// simdeterminism pass additionally exempts whole real-network files by
-// basename: real.go and *_real.go are never simulation-driven.
+// are per-analyzer ("wallclock", "globalrand", "hostcpu", "droperr",
+// "leaktimer", "lockyield", "maporder", "heapescape"); the reason text is
+// free-form but strongly encouraged. The simdeterminism pass additionally
+// exempts whole real-network files by basename: real.go and *_real.go are
+// never simulation-driven.
+//
+// Suppressions are themselves checked: when the full suite runs, the driver
+// flags any //lint:allow comment that no analyzer consulted — either its
+// key is unknown to every registered pass, or no diagnostic occurs on its
+// line any more — so stale suppressions rot out of the tree instead of
+// accumulating (see Run).
 package analysis
 
 import (
@@ -29,6 +47,8 @@ import (
 	"go/types"
 	"path/filepath"
 	"strings"
+
+	"repro/internal/analysis/facts"
 )
 
 // Analyzer describes one static-analysis pass.
@@ -38,6 +58,9 @@ type Analyzer struct {
 	Name string
 	// Doc is the help text: first line is a one-line summary.
 	Doc string
+	// Keys lists the //lint:allow suppression keys this pass consults, for
+	// the driver's unused-suppression check.
+	Keys []string
 	// Run applies the pass to one package and reports findings via
 	// pass.Report / pass.Reportf.
 	Run func(*Pass) error
@@ -55,12 +78,24 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	// PkgPath is the package's import path and Dir its source directory
+	// (needed by passes that re-invoke the toolchain, e.g. noalloc).
+	PkgPath string
+	Dir     string
+
+	// Facts answers interprocedural queries (may-yield, schedules-events,
+	// records-to-db) for any statically resolved callee. The driver computes
+	// it once over the whole load universe.
+	Facts *facts.DB
+
 	// Report delivers one finding. The driver fills it in.
 	Report func(Diagnostic)
 
-	// allow maps "file:line" to the set of allow keys active on that line
-	// (from the line itself or the line above). Built lazily.
-	allow map[string]map[string]bool
+	// allows indexes the package's //lint:allow comments, shared between
+	// all analyzers running on the package so that suppression usage can be
+	// audited afterwards. Built lazily when a Pass is constructed by hand
+	// (tests); the driver always pre-fills it.
+	allows *AllowIndex
 }
 
 // Diagnostic is one finding at a source position.
@@ -82,36 +117,95 @@ func (p *Pass) Filename(pos token.Pos) string {
 
 // Allowed reports whether a `//lint:allow <key>` comment covers pos: the
 // comment may sit on the same line as the flagged code or on the line
-// directly above it.
+// directly above it. Consulting a suppression marks it used for the
+// driver's stale-suppression audit.
 func (p *Pass) Allowed(pos token.Pos, key string) bool {
-	if p.allow == nil {
-		p.allow = make(map[string]map[string]bool)
-		for _, f := range p.Files {
-			for _, cg := range f.Comments {
-				for _, c := range cg.List {
-					text := strings.TrimPrefix(c.Text, "//")
-					text = strings.TrimSpace(text)
-					if !strings.HasPrefix(text, "lint:allow") {
-						continue
-					}
-					fields := strings.Fields(strings.TrimPrefix(text, "lint:allow"))
-					if len(fields) == 0 {
-						continue
-					}
-					cp := p.Fset.Position(c.Pos())
-					// The comment covers its own line and the next one, so
-					// both trailing and preceding placements work.
-					for _, line := range []int{cp.Line, cp.Line + 1} {
-						k := fmt.Sprintf("%s:%d", cp.Filename, line)
-						if p.allow[k] == nil {
-							p.allow[k] = make(map[string]bool)
-						}
-						p.allow[k][fields[0]] = true
-					}
+	if p.allows == nil {
+		p.allows = BuildAllowIndex(p.Fset, p.Files)
+	}
+	return p.allows.Allowed(p.Fset, pos, key)
+}
+
+// SimFacing reports whether pkgName names a package whose code runs under
+// the simulation kernel — the scope of the simdeterminism and maprange
+// passes. nttcp and snmp appear even though they have a real-UDP layer:
+// their real.go files are exempted by name.
+func SimFacing(pkgName string) bool { return simPackages[pkgName] }
+
+var simPackages = map[string]bool{
+	"sim": true, "netsim": true, "rtds": true, "hifi": true, "cots": true,
+	"hybrid": true, "experiments": true, "chaos": true, "rmon": true,
+	"manager": true, "flowmeter": true, "rstream": true, "topo": true,
+	"vclock": true, "mib": true, "snmp": true, "nttcp": true, "core": true,
+	"metrics": true, "report": true, "integration": true, "resilience": true,
+	"telemetry": true,
+}
+
+// AllowEntry is one //lint:allow comment: its key, position, and whether
+// any analyzer consulted it.
+type AllowEntry struct {
+	Key  string
+	Pos  token.Pos
+	used bool
+}
+
+// AllowIndex indexes a package's //lint:allow comments by the source lines
+// they cover (their own line and the one below) and records which entries
+// were actually consulted by a matching diagnostic check.
+type AllowIndex struct {
+	byLine map[string][]*AllowEntry // "file:line" -> entries covering it
+	all    []*AllowEntry            // in file/position order
+}
+
+// BuildAllowIndex scans the files' comments for //lint:allow markers.
+func BuildAllowIndex(fset *token.FileSet, files []*ast.File) *AllowIndex {
+	ix := &AllowIndex{byLine: make(map[string][]*AllowEntry)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "lint:allow") {
+					continue
+				}
+				fields := strings.Fields(strings.TrimPrefix(text, "lint:allow"))
+				if len(fields) == 0 {
+					continue
+				}
+				cp := fset.Position(c.Pos())
+				e := &AllowEntry{Key: fields[0], Pos: c.Pos()}
+				ix.all = append(ix.all, e)
+				// The comment covers its own line and the next one, so both
+				// trailing and preceding placements work.
+				for _, line := range []int{cp.Line, cp.Line + 1} {
+					k := fmt.Sprintf("%s:%d", cp.Filename, line)
+					ix.byLine[k] = append(ix.byLine[k], e)
 				}
 			}
 		}
 	}
-	pp := p.Fset.Position(pos)
-	return p.allow[fmt.Sprintf("%s:%d", pp.Filename, pp.Line)][key]
+	return ix
+}
+
+// Allowed reports whether an entry with key covers pos, marking it used.
+func (ix *AllowIndex) Allowed(fset *token.FileSet, pos token.Pos, key string) bool {
+	pp := fset.Position(pos)
+	for _, e := range ix.byLine[fmt.Sprintf("%s:%d", pp.Filename, pp.Line)] {
+		if e.Key == key {
+			e.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// Unused returns the entries never consulted by any analyzer, in source
+// order.
+func (ix *AllowIndex) Unused() []*AllowEntry {
+	var out []*AllowEntry
+	for _, e := range ix.all {
+		if !e.used {
+			out = append(out, e)
+		}
+	}
+	return out
 }

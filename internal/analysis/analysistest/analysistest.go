@@ -24,15 +24,33 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"sort"
 	"strings"
 	"testing"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/facts"
 )
+
+// reporter is the slice of testing.T the harness needs; the indirection
+// lets the harness's own tests observe failures instead of failing.
+type reporter interface {
+	Helper()
+	Errorf(format string, args ...any)
+	Fatalf(format string, args ...any)
+}
 
 // Run loads each fixture package from dir (typically "testdata") and applies
 // the analyzer, comparing diagnostics against the package's want comments.
+// Interprocedural facts are computed over every fixture package loaded so
+// far (the target and its fixture-local imports), mirroring the real
+// driver.
 func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	run(t, dir, a, pkgs...)
+}
+
+func run(t reporter, dir string, a *analysis.Analyzer, pkgs ...string) {
 	t.Helper()
 	l := &loader{
 		src:     filepath.Join(dir, "src"),
@@ -51,6 +69,9 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
 			Files:     fp.files,
 			Pkg:       fp.types,
 			TypesInfo: fp.info,
+			PkgPath:   pkg,
+			Dir:       filepath.Join(l.src, pkg),
+			Facts:     l.facts(),
 			Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
 		}
 		if err := a.Run(pass); err != nil {
@@ -58,6 +79,22 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
 		}
 		check(t, l.fset, fp, pkg, diags)
 	}
+}
+
+// facts computes the interprocedural fact database over every fixture
+// package loaded so far, in deterministic package order.
+func (l *loader) facts() *facts.DB {
+	names := make([]string, 0, len(l.checked))
+	for name := range l.checked {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	srcs := make([]facts.Source, 0, len(names))
+	for _, name := range names {
+		fp := l.checked[name]
+		srcs = append(srcs, facts.Source{Files: fp.files, Info: fp.info})
+	}
+	return facts.Compute(srcs)
 }
 
 type fixturePkg struct {
@@ -152,7 +189,7 @@ type expectation struct {
 var wantRe = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
 
 // check compares diagnostics to // want comments.
-func check(t *testing.T, fset *token.FileSet, fp *fixturePkg, pkg string, diags []analysis.Diagnostic) {
+func check(t reporter, fset *token.FileSet, fp *fixturePkg, pkg string, diags []analysis.Diagnostic) {
 	t.Helper()
 	var wants []*expectation
 	for _, f := range fp.files {

@@ -1,0 +1,106 @@
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// probe flags functions named covered and unexpected.
+var probe = &analysis.Analyzer{
+	Name: "probe",
+	Doc:  "harness self-test analyzer",
+	Run: func(p *analysis.Pass) error {
+		for _, f := range p.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				switch fd.Name.Name {
+				case "covered":
+					p.Reportf(fd.Pos(), "flagged")
+				case "unexpected":
+					p.Reportf(fd.Pos(), "surprise finding")
+				}
+			}
+		}
+		return nil
+	},
+}
+
+// fakeReporter records failures instead of failing; Fatalf unwinds via panic
+// the way testing.T's runtime.Goexit would stop the test goroutine.
+type fakeReporter struct {
+	errors []string
+	fatal  string
+}
+
+type fatalSentinel struct{}
+
+func (f *fakeReporter) Helper() {}
+
+func (f *fakeReporter) Errorf(format string, args ...any) {
+	f.errors = append(f.errors, fmt.Sprintf(format, args...))
+}
+
+func (f *fakeReporter) Fatalf(format string, args ...any) {
+	f.fatal = fmt.Sprintf(format, args...)
+	panic(fatalSentinel{})
+}
+
+func runCaptured(fr *fakeReporter, pkgs ...string) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(fatalSentinel); !ok {
+				panic(r)
+			}
+		}
+	}()
+	run(fr, "testdata", probe, pkgs...)
+}
+
+func TestHarnessReportsMismatches(t *testing.T) {
+	fr := &fakeReporter{}
+	runCaptured(fr, "demo")
+	if fr.fatal != "" {
+		t.Fatalf("unexpected Fatalf: %s", fr.fatal)
+	}
+	var unexpected, unmatched bool
+	for _, e := range fr.errors {
+		if strings.Contains(e, "unexpected diagnostic") && strings.Contains(e, "surprise finding") {
+			unexpected = true
+		}
+		if strings.Contains(e, "expected diagnostic matching") && strings.Contains(e, "nevermatched") {
+			unmatched = true
+		}
+	}
+	if !unexpected {
+		t.Errorf("harness missed the unexpected diagnostic; errors: %v", fr.errors)
+	}
+	if !unmatched {
+		t.Errorf("harness missed the unmatched want; errors: %v", fr.errors)
+	}
+	if len(fr.errors) != 2 {
+		t.Errorf("harness reported %d failures, want exactly 2: %v", len(fr.errors), fr.errors)
+	}
+}
+
+func TestHarnessAcceptsMatchedFixture(t *testing.T) {
+	fr := &fakeReporter{}
+	runCaptured(fr, "demook")
+	if fr.fatal != "" || len(fr.errors) != 0 {
+		t.Errorf("all-green fixture failed: fatal=%q errors=%v", fr.fatal, fr.errors)
+	}
+}
+
+func TestHarnessFatalsOnMissingPackage(t *testing.T) {
+	fr := &fakeReporter{}
+	runCaptured(fr, "no-such-pkg")
+	if fr.fatal == "" || !strings.Contains(fr.fatal, "no-such-pkg") {
+		t.Errorf("missing package did not Fatalf: fatal=%q errors=%v", fr.fatal, fr.errors)
+	}
+}

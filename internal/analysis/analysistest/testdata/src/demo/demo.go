@@ -1,0 +1,10 @@
+// Package demo feeds the harness's own tests: the probe analyzer flags
+// covered and unexpected, so the want comments below produce one match, one
+// unexpected diagnostic, and one unmatched expectation.
+package demo
+
+func covered() {} // want `flagged`
+
+func uncovered() {} // want `nevermatched`
+
+func unexpected() {}

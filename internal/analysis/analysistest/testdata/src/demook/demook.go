@@ -1,0 +1,7 @@
+// Package demook is the all-green fixture: every diagnostic is expected and
+// every expectation matches.
+package demook
+
+func covered() {} // want `flagged`
+
+func clean() {}

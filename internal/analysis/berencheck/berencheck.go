@@ -28,6 +28,7 @@ import (
 var Analyzer = &analysis.Analyzer{
 	Name: "berencheck",
 	Doc:  "flag dropped errors from asn1ber/snmp/mib codecs and core.Database exports",
+	Keys: []string{"droperr"},
 	Run:  run,
 }
 

@@ -9,11 +9,11 @@ import (
 )
 
 func bad(r *asn1ber.Reader, c *snmp.Client, db *core.Database, w io.Writer) {
-	r.ReadTLV()           // want `error returned by asn1ber\.ReadTLV is discarded`
-	_, _, _ = r.ReadTLV() // want `error returned by asn1ber\.ReadTLV is assigned to _`
+	r.ReadTLV()                   // want `error returned by asn1ber\.ReadTLV is discarded`
+	_, _, _ = r.ReadTLV()         // want `error returned by asn1ber\.ReadTLV is assigned to _`
 	v, _ := asn1ber.ParseInt(nil) // want `error returned by asn1ber\.ParseInt is assigned to _`
 	_ = v
-	snmp.Decode(nil) // want `error returned by snmp\.Decode is discarded`
+	snmp.Decode(nil)      // want `error returned by snmp\.Decode is discarded`
 	vbs, _ := c.Walk("h") // want `error returned by snmp\.Walk is assigned to _`
 	_ = vbs
 	db.ExportCSV(w)       // want `error returned by core\.ExportCSV is discarded`
@@ -37,5 +37,6 @@ func good(r *asn1ber.Reader, c *snmp.Client, db *core.Database, w io.Writer) err
 	_ = (*snmp.Message)(nil).Encode() // no error result: fine
 	//lint:allow droperr best-effort trailer write
 	db.ExportCSV(w)
+	db.ExportCSV(w) //lint:allow droperr same-line form
 	return db.ExportCSV(w)
 }

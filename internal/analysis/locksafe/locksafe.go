@@ -11,13 +11,20 @@
 //
 // The pass performs a statement-order scan within each function body: after
 // e.Lock()/e.RLock() on a sync.Mutex or sync.RWMutex (including embedded
-// ones), any yield-point call before the matching e.Unlock()/e.RUnlock()
-// is reported. A deferred Unlock keeps the mutex held for the rest of the
-// body. Nested blocks (if/for/switch bodies) share the enclosing lock
-// state; function literals are scanned independently, since they execute
-// at some other time. The scan is linear — it does not model branches that
-// unlock on one arm only — which is the conventional lint-grade
-// approximation. Opt out with `//lint:allow lockyield <reason>`.
+// ones), any call that may reach a yield point before the matching
+// e.Unlock()/e.RUnlock() is reported. Yield-point detection is
+// interprocedural: the driver's facts database (see
+// internal/analysis/facts) marks the sim kernel's parking/barrier methods
+// intrinsically and propagates "mayYield" bottom-up through the call
+// graph, so a helper that merely calls another helper that eventually
+// parks the Proc is flagged too — the diagnostic names the call chain.
+//
+// A deferred Unlock keeps the mutex held for the rest of the body. Nested
+// blocks (if/for/switch bodies) share the enclosing lock state; function
+// literals are scanned independently, since they execute at some other
+// time. The scan is linear — it does not model branches that unlock on one
+// arm only — which is the conventional lint-grade approximation. Opt out
+// with `//lint:allow lockyield <reason>`.
 package locksafe
 
 import (
@@ -28,22 +35,16 @@ import (
 	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/callgraph"
+	"repro/internal/analysis/facts"
 )
 
 // Analyzer is the locksafe pass.
 var Analyzer = &analysis.Analyzer{
 	Name: "locksafe",
-	Doc:  "flag sync mutexes held across sim yield points (Sleep/Yield/Get/Run/Step)",
+	Doc:  "flag sync mutexes held across calls that may transitively reach a sim yield point",
+	Keys: []string{"lockyield"},
 	Run:  run,
-}
-
-// yieldMethods are the sim-package methods that park the calling Proc or
-// re-enter the scheduler. ShardGroup.Run/RunUntil/Step drive every shard's
-// worker goroutine to a barrier, so a mutex held across them blocks not one
-// Proc but the whole group.
-var yieldMethods = map[string]bool{
-	"Sleep": true, "Yield": true, "Get": true, "Run": true, "RunUntil": true,
-	"Step": true,
 }
 
 func run(pass *analysis.Pass) error {
@@ -174,9 +175,9 @@ func lockOp(pass *analysis.Pass, call *ast.CallExpr) (op, string) {
 	return opNone, ""
 }
 
-// reportYields flags sim yield-point calls inside node while any mutex is
-// held. Function literals are skipped: their bodies run at another time and
-// are scanned as functions in their own right.
+// reportYields flags calls that may reach a sim yield point inside node
+// while any mutex is held. Function literals are skipped: their bodies run
+// at another time and are scanned as functions in their own right.
 func reportYields(pass *analysis.Pass, node ast.Node, held map[string]token.Pos) {
 	if len(held) == 0 || node == nil {
 		return
@@ -189,23 +190,39 @@ func reportYields(pass *analysis.Pass, node ast.Node, held map[string]token.Pos)
 		if !ok {
 			return true
 		}
-		sel, ok := call.Fun.(*ast.SelectorExpr)
-		if !ok {
-			return true
-		}
-		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
-		if !ok || fn.Pkg() == nil || fn.Pkg().Name() != "sim" {
-			return true
-		}
-		if fn.Type().(*types.Signature).Recv() == nil || !yieldMethods[fn.Name()] {
+		fn := callgraph.StaticCallee(pass.TypesInfo, call)
+		if fn == nil || !mayYield(pass, fn) {
 			return true
 		}
 		if pass.Allowed(call.Pos(), "lockyield") {
 			return true
 		}
-		pass.Reportf(call.Pos(), "sim yield point %s called while holding %s: the lock stays held across the scheduler (annotate //lint:allow lockyield if intended)", fn.Name(), heldNames(held))
+		chain := yieldChain(pass, fn)
+		if len(chain) <= 1 {
+			pass.Reportf(call.Pos(), "sim yield point %s called while holding %s: the lock stays held across the scheduler (annotate //lint:allow lockyield if intended)", fn.Name(), heldNames(held))
+		} else {
+			pass.Reportf(call.Pos(), "call to %s may reach sim yield point %s (call path %s) while holding %s: the lock stays held across the scheduler (annotate //lint:allow lockyield if intended)", fn.Name(), chain[len(chain)-1], strings.Join(chain, " -> "), heldNames(held))
+		}
 		return true
 	})
+}
+
+// mayYield consults the driver's interprocedural facts; a hand-built Pass
+// without facts (old tests) degrades to intrinsic yield points only.
+func mayYield(pass *analysis.Pass, fn *types.Func) bool {
+	if pass.Facts != nil {
+		return pass.Facts.Lookup(fn)&facts.MayYield != 0
+	}
+	return facts.Intrinsic(fn)&facts.MayYield != 0
+}
+
+// yieldChain names the call path from fn down to the intrinsic yield point,
+// for the diagnostic.
+func yieldChain(pass *analysis.Pass, fn *types.Func) []string {
+	if pass.Facts == nil {
+		return nil
+	}
+	return pass.Facts.Chain(fn, facts.MayYield)
 }
 
 func heldNames(held map[string]token.Pos) string {

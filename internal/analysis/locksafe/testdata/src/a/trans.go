@@ -1,0 +1,49 @@
+package a
+
+import (
+	"sim"
+)
+
+// helper2 parks the proc: one hop from the intrinsic yield point.
+func helper2(p *sim.Proc) {
+	p.Sleep(1)
+}
+
+// helper1 reaches the yield point only through helper2: two hops.
+func helper1(p *sim.Proc) {
+	helper2(p)
+}
+
+func badTransitive(s *server, p *sim.Proc) {
+	s.mu.Lock()
+	helper1(p) // want `call to helper1 may reach sim yield point Proc\.Sleep \(call path helper1 -> helper2 -> Proc\.Sleep\) while holding s\.mu`
+	s.mu.Unlock()
+}
+
+func badTransitiveDefer(s *server, p *sim.Proc) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	helper2(p) // want `call to helper2 may reach sim yield point Proc\.Sleep \(call path helper2 -> Proc\.Sleep\) while holding s\.mu`
+}
+
+func goodTransitiveClosure(s *server, p *sim.Proc) {
+	s.mu.Lock()
+	// The closure body runs at some other time, not under the lock; and a
+	// helper reached only through a stored closure is not the caller's call.
+	fn := func() { helper1(p) }
+	_ = fn
+	s.mu.Unlock()
+}
+
+func goodTransitiveAfterUnlock(s *server, p *sim.Proc) {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+	helper1(p) // lock already released: fine
+}
+
+func allowedTransitiveSameLine(s *server, p *sim.Proc) {
+	s.mu.Lock()
+	helper1(p) //lint:allow lockyield shutdown path, no other proc can contend
+	s.mu.Unlock()
+}

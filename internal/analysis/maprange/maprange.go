@@ -1,0 +1,148 @@
+// Package maprange flags map iteration whose body feeds order-sensitive
+// sinks in simulation-facing packages.
+//
+// Go randomizes map iteration order on purpose. The experiment tables and
+// the sharded kernel's bit-identity guarantee both rest on every observable
+// effect happening in a deterministic order, so a `for range` over a map
+// whose body — directly or through any chain of helpers — schedules
+// simulation events (Kernel.At/After/Every/Spawn, ShardGroup.Send), records
+// measurements (core.Database.Record), or appends report-table rows
+// (report.Table.AddRow/AddNote) silently reorders those effects on every
+// run. That is exactly the class of nondeterminism the byte-identical-
+// tables invariant exists to catch, surfacing here at its source instead of
+// as a diffing experiment table three layers away.
+//
+// Reachability is interprocedural via the driver's facts database: the loop
+// body's statically resolvable calls are checked for the schedulesEvents
+// and recordsToDB summary facts. Calls inside nested function literals are
+// not the loop's effects — a stored closure runs later, in its caller's
+// order — and scheduling a closure per key is already caught through the
+// scheduling call itself. The sanctioned fix is the sorted-keys idiom:
+//
+//	keys := make([]string, 0, len(m))
+//	for k := range m { // body only collects: fine
+//		keys = append(keys, k)
+//	}
+//	sort.Strings(keys)
+//	for _, k := range keys { // slice range: not checked
+//		schedule(m[k])
+//	}
+//
+// which this pass accepts for free, since the map-ranging loop no longer
+// reaches a sink. Iteration that is genuinely order-insensitive (e.g.
+// summing, or effects proven commutative) opts out with
+// `//lint:allow maporder <reason>`.
+package maprange
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/callgraph"
+	"repro/internal/analysis/facts"
+)
+
+// Analyzer is the maprange pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "maprange",
+	Doc:  "flag map iteration that schedules events or records results in map order",
+	Keys: []string{"maporder"},
+	Run:  run,
+}
+
+// sinkFacts are the summary facts that make a loop body order-sensitive.
+const sinkFacts = facts.SchedulesEvents | facts.RecordsToDB
+
+func run(pass *analysis.Pass) error {
+	if !analysis.SimFacing(pass.Pkg.Name()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[rng.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			fn, f := firstSink(pass, rng.Body)
+			if fn == nil {
+				return true
+			}
+			if pass.Allowed(rng.Pos(), "maporder") {
+				return true
+			}
+			chain := chainString(pass, fn, f)
+			pass.Reportf(rng.Pos(), "map iteration order is random, but this loop body reaches an order-sensitive sink (%s) via %s: sort the keys first, or annotate //lint:allow maporder if the effects commute", f, chain)
+			return true
+		})
+	}
+	return nil
+}
+
+// firstSink returns the first call in body (in lexical order, outside
+// nested function literals) whose callee carries a sink fact, along with
+// the facts that make it one.
+func firstSink(pass *analysis.Pass, body *ast.BlockStmt) (*types.Func, facts.Fact) {
+	var foundFn *types.Func
+	var foundFact facts.Fact
+	ast.Inspect(body, func(n ast.Node) bool {
+		if foundFn != nil {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := callgraph.StaticCallee(pass.TypesInfo, call)
+		if fn == nil {
+			return true
+		}
+		f := lookup(pass, fn) & sinkFacts
+		if f == 0 {
+			return true
+		}
+		foundFn, foundFact = fn, f
+		return false
+	})
+	return foundFn, foundFact
+}
+
+func lookup(pass *analysis.Pass, fn *types.Func) facts.Fact {
+	if pass.Facts != nil {
+		return pass.Facts.Lookup(fn)
+	}
+	return facts.Intrinsic(fn)
+}
+
+// chainString renders the call path from the loop body's call down to the
+// intrinsic sink, e.g. "flush -> Database.Record".
+func chainString(pass *analysis.Pass, fn *types.Func, f facts.Fact) string {
+	if pass.Facts == nil {
+		return fn.Name()
+	}
+	// Prefer the first single fact bit for a coherent chain.
+	for _, bit := range []facts.Fact{facts.SchedulesEvents, facts.RecordsToDB} {
+		if f&bit != 0 {
+			chain := pass.Facts.Chain(fn, bit)
+			out := ""
+			for i, link := range chain {
+				if i > 0 {
+					out += " -> "
+				}
+				out += link
+			}
+			return out
+		}
+	}
+	return fn.Name()
+}

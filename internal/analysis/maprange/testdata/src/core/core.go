@@ -1,0 +1,9 @@
+// Package core is a fixture mirroring the measurement database's Record.
+package core
+
+type Measurement struct{ V int }
+
+type Database struct{ n int }
+
+func (db *Database) Record(m Measurement) { db.n++ }
+func (db *Database) Series() int          { return db.n }

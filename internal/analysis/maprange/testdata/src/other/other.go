@@ -1,0 +1,12 @@
+// Package other is not simulation-facing: the pass skips it entirely.
+package other
+
+import (
+	"sim"
+)
+
+func unchecked(k *sim.Kernel, m map[string]func()) {
+	for _, fn := range m { // out of scope: no finding
+		k.At(10, fn)
+	}
+}

@@ -1,0 +1,60 @@
+package rmon
+
+import (
+	"sort"
+
+	"sim"
+)
+
+func direct(k *sim.Kernel, m map[string]func()) {
+	for _, fn := range m { // want `map iteration order is random, but this loop body reaches an order-sensitive sink \(schedulesEvents\) via Kernel\.At`
+		k.At(10, fn)
+	}
+}
+
+func directSend(g *sim.ShardGroup, m map[int]func()) {
+	for to, fn := range m { // want `order-sensitive sink \(schedulesEvents\) via ShardGroup\.Send`
+		g.Send(0, to, 10, fn)
+	}
+}
+
+func sorted(k *sim.Kernel, m map[string]func()) {
+	keys := make([]string, 0, len(m))
+	for key := range m { // body only collects: fine
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys { // slice range: not checked
+		k.At(10, m[key])
+	}
+}
+
+func closureBuilder(k *sim.Kernel, m map[string]int) map[string]func() {
+	out := make(map[string]func(), len(m))
+	for key, v := range m { // the only call sites are inside the stored closure: fine
+		v := v
+		out[key] = func() { k.At(int64(v), nil) }
+	}
+	return out
+}
+
+func pureSum(m map[string]int) int {
+	total := 0
+	for _, v := range m { // no sink at all: fine
+		total += v
+	}
+	return total
+}
+
+func allowedSameLine(k *sim.Kernel, m map[string]int) {
+	for _, v := range m { //lint:allow maporder one event per key at distinct times, heap order restores determinism
+		k.At(int64(v), nil)
+	}
+}
+
+func allowedAboveLine(k *sim.Kernel, m map[string]int) {
+	//lint:allow maporder effects commute: counters only
+	for _, v := range m {
+		k.After(int64(v), nil)
+	}
+}

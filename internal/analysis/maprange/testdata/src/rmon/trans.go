@@ -1,0 +1,25 @@
+package rmon
+
+import (
+	"core"
+)
+
+// store is one hop above the intrinsic Database.Record sink.
+func store(db *core.Database, v int) {
+	db.Record(core.Measurement{V: v})
+}
+
+// flushAll is two hops above it.
+func flushAll(db *core.Database, m map[string]int) {
+	for _, v := range m { // want `order-sensitive sink \(recordsToDB\) via store -> Database\.Record`
+		store(db, v)
+	}
+}
+
+func reads(db *core.Database, m map[string]int) int {
+	n := 0
+	for range m { // Series only reads: fine
+		n += db.Series()
+	}
+	return n
+}

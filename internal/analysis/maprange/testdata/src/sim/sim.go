@@ -1,0 +1,16 @@
+// Package sim is a fixture mirroring the kernel's scheduling signatures.
+package sim
+
+type Timer struct{}
+
+type Kernel struct{}
+
+func (k *Kernel) At(at int64, fn func()) Timer   { return Timer{} }
+func (k *Kernel) After(d int64, fn func()) Timer { return Timer{} }
+func (k *Kernel) Every(d int64, fn func()) Timer { return Timer{} }
+func (k *Kernel) Spawn(name string, fn func())   {}
+func (k *Kernel) Now() int64                     { return 0 }
+
+type ShardGroup struct{}
+
+func (g *ShardGroup) Send(from, to int, at int64, fn func()) {}

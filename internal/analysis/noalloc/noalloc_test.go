@@ -1,0 +1,48 @@
+package noalloc_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/noalloc"
+)
+
+// TestNoAlloc drives the pass over the fixture with a fake compiler whose
+// escape output is derived from the fixture source itself, so the fixture
+// and the fake can never drift apart on line numbers.
+func TestNoAlloc(t *testing.T) {
+	restore := noalloc.SetEscapeOutputForTest(func(dir string, isMain bool) ([]byte, error) {
+		if isMain {
+			t.Errorf("fixture package hot reported as main")
+		}
+		data, err := os.ReadFile(filepath.Join(dir, "hot.go"))
+		if err != nil {
+			return nil, err
+		}
+		var out strings.Builder
+		for i, line := range strings.Split(string(data), "\n") {
+			n := i + 1
+			switch {
+			case strings.Contains(line, "new(int)"):
+				// The compiler reports an inlined escape twice; so do we, to
+				// prove the pass dedups instead of double-flagging.
+				fmt.Fprintf(&out, "./hot.go:%d:10: new(int) escapes to heap\n", n)
+				fmt.Fprintf(&out, "./hot.go:%d:10: new(int) escapes to heap\n", n)
+			case strings.Contains(line, "var x int"):
+				fmt.Fprintf(&out, "./hot.go:%d:6: moved to heap: x\n", n)
+			case strings.Contains(line, `panic("`):
+				fmt.Fprintf(&out, "./hot.go:%d:8: \"hot: negative\" escapes to heap\n", n)
+			case strings.Contains(line, "func "):
+				// Non-escape chatter the parser must ignore.
+				fmt.Fprintf(&out, "./hot.go:%d:6: can inline something\n", n)
+			}
+		}
+		return []byte(out.String()), nil
+	})
+	defer restore()
+	analysistest.Run(t, "testdata", noalloc.Analyzer, "hot")
+}

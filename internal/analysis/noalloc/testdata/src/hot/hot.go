@@ -1,0 +1,56 @@
+// Package hot exercises the noalloc gate against synthetic escape output:
+// the test's fake compiler emits an escape line for every `new(int)` (twice,
+// mimicking the standalone + inlined double report), a moved-to-heap line
+// for `var x int`, and a constant-string escape for the panic message.
+package hot
+
+var sink *int
+
+// hot is annotated and leaks: flagged.
+//
+//perf:noalloc
+func hot() {
+	p := new(int) // want `heap escape in //perf:noalloc function hot: new\(int\) escapes to heap`
+	sink = p
+}
+
+// moved is annotated and moves a local to the heap: flagged.
+//
+//perf:noalloc
+func moved() *int {
+	var x int // want `heap escape in //perf:noalloc function moved: moved to heap: x`
+	return &x
+}
+
+// cold carries no annotation: its escapes are nobody's business.
+func cold() {
+	p := new(int)
+	sink = p
+}
+
+// allowedSame is annotated but the escape line carries a same-line allow.
+//
+//perf:noalloc
+func allowedSame() {
+	p := new(int) //lint:allow heapescape documented cold path
+	sink = p
+}
+
+// allowedAbove uses the above-line allow placement.
+//
+//perf:noalloc
+func allowedAbove() {
+	//lint:allow heapescape documented cold path
+	p := new(int)
+	sink = p
+}
+
+// constStr only escapes its constant panic message: exempt as static data.
+//
+//perf:noalloc
+func constStr(n int) int {
+	if n < 0 {
+		panic("hot: negative")
+	}
+	return n
+}

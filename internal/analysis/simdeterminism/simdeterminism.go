@@ -40,20 +40,12 @@ import (
 var Analyzer = &analysis.Analyzer{
 	Name: "simdeterminism",
 	Doc:  "forbid wall-clock time, global math/rand, and host-CPU probes in simulation-facing packages",
+	Keys: []string{"wallclock", "globalrand", "hostcpu"},
 	Run:  run,
 }
 
-// simPackages lists the package names (basenames) whose code runs under the
-// simulation kernel. nttcp and snmp appear even though they have a real-UDP
-// layer: their real.go files are exempted by name.
-var simPackages = map[string]bool{
-	"sim": true, "netsim": true, "rtds": true, "hifi": true, "cots": true,
-	"hybrid": true, "experiments": true, "chaos": true, "rmon": true,
-	"manager": true, "flowmeter": true, "rstream": true, "topo": true,
-	"vclock": true, "mib": true, "snmp": true, "nttcp": true, "core": true,
-	"metrics": true, "report": true, "integration": true, "resilience": true,
-	"telemetry": true,
-}
+// The simulation-facing package list lives in analysis.SimFacing, shared
+// with the maprange pass.
 
 // wallClockFuncs are the package-time functions that touch the wall clock.
 var wallClockFuncs = map[string]bool{
@@ -76,7 +68,7 @@ var hostCPUFuncs = map[string]bool{
 }
 
 func run(pass *analysis.Pass) error {
-	if !simPackages[pass.Pkg.Name()] {
+	if !analysis.SimFacing(pass.Pkg.Name()) {
 		return nil
 	}
 	for _, file := range pass.Files {

@@ -13,6 +13,7 @@ func good(k *sim.Kernel) {
 	k.After(5, func() {}) // one-shot timers are fire-and-forget: fine
 	//lint:allow leaktimer process-lifetime ticker
 	k.Every(10, func() {})
+	k.Every(10, func() {}) //lint:allow leaktimer same-line form
 }
 
 type notsim struct{}

@@ -26,6 +26,7 @@ import (
 var Analyzer = &analysis.Analyzer{
 	Name: "timerstop",
 	Doc:  "flag sim.Every calls whose Timer handle is discarded",
+	Keys: []string{"leaktimer"},
 	Run:  run,
 }
 

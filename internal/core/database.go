@@ -71,6 +71,8 @@ func (db *Database) EnableTelemetry(reg *telemetry.Registry, prefix string) {
 // Record stores a measurement as the current value, updates last-known on
 // success, and appends to history, evicting the oldest retained sample once
 // the series is at depth.
+//
+//perf:noalloc
 func (db *Database) Record(m Measurement) {
 	key := dbKey{m.Path, m.Metric}
 	s := db.series[key]
@@ -79,6 +81,7 @@ func (db *Database) Record(m Measurement) {
 		if depth <= 0 {
 			depth = DefaultHistoryDepth
 		}
+		//lint:allow heapescape series creation: once per (path, metric), never on the steady recording path
 		s = &dbSeries{ring: make([]Measurement, depth)}
 		db.series[key] = s
 	}

@@ -130,11 +130,13 @@ func (k *Kernel) Every(period time.Duration, fn func()) Timer {
 }
 
 // schedule inserts a pooled event into the heap and returns its handle.
+//
+//perf:noalloc
 func (k *Kernel) schedule(at, period time.Duration, fn func()) Timer {
 	if at < k.now {
 		at = k.now
 	}
-	ev := k.alloc()
+	ev := k.alloc() //lint:allow heapescape pool refill: only when the free list is empty, amortized to zero in steady state
 	k.seq++
 	ev.at = at
 	ev.seq = k.seq
@@ -157,6 +159,8 @@ func (k *Kernel) alloc() *event {
 
 // release recycles an event: bumping the generation invalidates every Timer
 // handle that still points at it.
+//
+//perf:noalloc
 func (k *Kernel) release(ev *event) {
 	ev.gen++
 	ev.fn = nil
@@ -200,6 +204,8 @@ func (k *Kernel) Spawn(name string, fn func(*Proc)) *Proc {
 
 // resumeProc hands control to p and blocks until p parks again or finishes.
 // It must only be called from event context (inside Run).
+//
+//perf:noalloc
 func (k *Kernel) resumeProc(p *Proc) {
 	if p.done {
 		return
@@ -236,6 +242,9 @@ func (k *Kernel) RunUntil(deadline time.Duration) int {
 	return n
 }
 
+// run is the dispatch loop: pop, advance the clock, fire, recycle.
+//
+//perf:noalloc
 func (k *Kernel) run(deadline time.Duration) int {
 	if k.running {
 		panic("sim: Run called reentrantly")

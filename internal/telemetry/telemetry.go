@@ -42,6 +42,8 @@ type Counter struct {
 }
 
 // Inc adds one. A nil counter no-ops.
+//
+//perf:noalloc
 func (c *Counter) Inc() {
 	if c != nil {
 		c.v.Add(1)
@@ -49,6 +51,8 @@ func (c *Counter) Inc() {
 }
 
 // Add adds n. A nil counter no-ops.
+//
+//perf:noalloc
 func (c *Counter) Add(n uint64) {
 	if c != nil {
 		c.v.Add(n)
@@ -79,6 +83,8 @@ type Gauge struct {
 }
 
 // Set records v. A nil gauge no-ops.
+//
+//perf:noalloc
 func (g *Gauge) Set(v float64) {
 	if g != nil {
 		g.bits.Store(math.Float64bits(v))
@@ -114,6 +120,8 @@ type Histogram struct {
 }
 
 // Observe records v into its bucket. A nil histogram no-ops.
+//
+//perf:noalloc
 func (h *Histogram) Observe(v float64) {
 	if h == nil {
 		return
