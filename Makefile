@@ -5,7 +5,7 @@ GO ?= go
 # this floor. Raise it when coverage rises; never lower it to make a PR pass.
 COVER_FLOOR ?= 85.0
 
-.PHONY: ci vet build test race analyze fuzz-smoke bench-smoke bench-check cover bench bench-shard test-shard experiments
+.PHONY: ci vet build test race analyze fuzz-smoke bench-smoke bench-check cover bench bench-shard test-shard experiments e15-artifact
 
 ci: vet build test race test-shard analyze fuzz-smoke bench-smoke bench-check
 
@@ -36,11 +36,12 @@ test-shard:
 analyze:
 	$(GO) run ./cmd/analyze -json analyze_diags.json ./...
 
-# A few seconds of coverage-guided fuzzing per codec target — enough to
+# A few seconds of coverage-guided fuzzing per target — enough to
 # exercise the checked-in corpora plus a short exploration burst.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzBERRoundTrip$$' -fuzztime 3s ./internal/asn1ber
 	$(GO) test -run '^$$' -fuzz '^FuzzMessageRoundTrip$$' -fuzztime 3s ./internal/snmp
+	$(GO) test -run '^$$' -fuzz '^FuzzSketchInvariants$$' -fuzztime 3s ./internal/sketch
 
 # One iteration of every benchmark, package by package, failing loudly per
 # broken package (see scripts/bench_smoke.sh).
@@ -73,3 +74,9 @@ bench-shard:
 
 experiments:
 	$(GO) run ./cmd/experiments
+
+# E15 accuracy/memory matrix as machine-readable JSON; CI uploads the file
+# alongside BENCH_shard.json so the sketch-vs-exact trajectory is archived
+# per PR like the perf numbers are.
+e15-artifact:
+	$(GO) run ./cmd/experiments -quick -json E15 > E15_sketch.json

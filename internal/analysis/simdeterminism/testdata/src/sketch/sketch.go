@@ -1,0 +1,32 @@
+// Package sketch is a fixture mirroring the quantile-sketch layer: the
+// sketch is pure arithmetic over values its callers hand it, so any
+// wall-clock read or global-rand draw inside the package (say, to
+// timestamp a fold or jitter marker positions) would silently break the
+// bit-identical merge guarantee the federation layer depends on.
+package sketch
+
+import (
+	"math/rand"
+	"time"
+)
+
+type state struct {
+	count   uint64
+	markers [5]float64
+}
+
+// update is the sanctioned shape: deterministic arithmetic only.
+func (s *state) update(v float64) {
+	s.count++
+	if v < s.markers[0] {
+		s.markers[0] = v
+	}
+}
+
+func (s *state) badFoldStamp() time.Duration {
+	return time.Since(time.Time{}) // want `time\.Since reads the wall clock`
+}
+
+func (s *state) badMarkerJitter() {
+	s.markers[2] += rand.Float64() * 1e-9 // want `rand\.Float64 draws from the process-global source`
+}

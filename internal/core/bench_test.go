@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/sketch"
 )
 
 // BenchmarkRecord measures steady-state cost of Database.Record under
@@ -12,6 +13,34 @@ import (
 func BenchmarkRecord(b *testing.B) {
 	db := NewDatabase()
 	paths := []PathID{"a->b", "b->c", "c->d", "d->e"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db.Record(Measurement{
+			Path:    paths[i%len(paths)],
+			Metric:  metrics.Throughput,
+			Value:   float64(i),
+			TakenAt: time.Duration(i) * time.Microsecond,
+		})
+	}
+}
+
+// BenchmarkDBRecordWithSketch is BenchmarkRecord with per-series sketches
+// enabled: the delta over BenchmarkRecord is the price of maintaining the
+// incremental quantile summary on the hot ingest path. It must stay
+// allocation-free in steady state, same as Record.
+func BenchmarkDBRecordWithSketch(b *testing.B) {
+	db := NewDatabase()
+	db.EnableSketches(sketch.Thresholds{Stall: 0.05, MicroStall: 0.005})
+	paths := []PathID{"a->b", "b->c", "c->d", "d->e"}
+	for i := 0; i < 4*len(paths); i++ { // warm: series + sketches pre-created
+		db.Record(Measurement{
+			Path:    paths[i%len(paths)],
+			Metric:  metrics.Throughput,
+			Value:   float64(i),
+			TakenAt: time.Duration(i) * time.Microsecond,
+		})
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -22,6 +22,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/sim"
+	"repro/internal/sketch"
 )
 
 // ProcessRef names an application process on a host — the unit the dynamic
@@ -193,6 +194,23 @@ type Monitor interface {
 // virtual time now. Monitors built on DirectorBase implement it.
 type FreshQuerier interface {
 	QueryFresh(path PathID, metric metrics.Metric, now, ttl time.Duration) (Measurement, bool)
+}
+
+// QuantileQuerier is the streaming-analytics extension of Monitor: it
+// answers distributional queries (p-quantiles and full digests) from
+// bounded-memory per-series sketches instead of scanning history.
+// Monitors built on DirectorBase implement it once their database has
+// sketches enabled (see Database.EnableSketches).
+type QuantileQuerier interface {
+	Quantile(path PathID, metric metrics.Metric, p float64) (float64, bool)
+	QuantileSummary(path PathID, metric metrics.Metric) (sketch.Summary, bool)
+}
+
+// SketchMerger exports a series' quantile sketch by folding it into the
+// caller's accumulator — the primitive hierarchical directors federate
+// on. Implementations must not mutate their own sketch.
+type SketchMerger interface {
+	MergeSketchInto(dst *sketch.Sketch, path PathID, metric metrics.Metric) bool
 }
 
 // ComposeSegments folds per-segment measurements into a path-level value:

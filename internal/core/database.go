@@ -2,8 +2,10 @@ package core
 
 import (
 	"time"
+	"unsafe"
 
 	"repro/internal/metrics"
+	"repro/internal/sketch"
 	"repro/internal/telemetry"
 )
 
@@ -26,6 +28,7 @@ type dbSeries struct {
 	ring      []Measurement // fixed capacity == history depth
 	head      int           // index of the oldest retained sample
 	count     int           // retained samples, <= len(ring)
+	sk        *sketch.Sketch // per-series quantile sketch; nil unless EnableSketches
 }
 
 // Database is the measurement store of Figure 2. It "enables both current
@@ -33,10 +36,19 @@ type dbSeries struct {
 // current value is the latest sample (which may be a failure), the last
 // known value is the latest successful sample.
 type Database struct {
-	// HistoryDepth bounds per-series history; zero means the default. It is
-	// captured per series at that series' first Record, so set it before
-	// recording.
+	// HistoryDepth bounds per-series history; zero means the default. It
+	// must be set before the first Record and must not change afterwards:
+	// ring buffers are sized once per series, so a mid-life change would
+	// silently give old and new series different depths. Record panics if
+	// the value differs from the one in effect at the database's first
+	// Record.
 	HistoryDepth int
+
+	lockedDepth int  // HistoryDepth value captured at the first Record
+	depthLocked bool // whether lockedDepth is in effect
+
+	sketchOn bool              // maintain a quantile sketch per series
+	sketchTh sketch.Thresholds // stall levels applied to new sketches
 
 	series map[dbKey]*dbSeries
 	// Records counts all stored measurements.
@@ -45,11 +57,17 @@ type Database struct {
 	// database's lifetime (the senescence watchdog's intervention count).
 	StaleMarked uint64
 
+	retained  int // samples currently held across all ring buffers
+	ringSlots int // ring-buffer capacity allocated across all series
+
 	// Telemetry instrument handles (nil = disabled); see EnableTelemetry.
 	telRecords    *telemetry.Counter
 	telStaleMarks *telemetry.Counter
 	telFreshHits  *telemetry.Counter
 	telFreshMiss  *telemetry.Counter
+	telSeries     *telemetry.Gauge
+	telRetained   *telemetry.Gauge
+	telSketchB    *telemetry.Gauge
 }
 
 // NewDatabase returns an empty store.
@@ -58,15 +76,37 @@ func NewDatabase() *Database {
 }
 
 // EnableTelemetry registers the database's instruments under prefix:
-// records stored, series marked stale by the watchdog, and the hit/miss
-// split of senescence-gated Fresh queries (the live fresh-query hit rate).
-// A nil registry leaves the database uninstrumented.
+// records stored, series marked stale by the watchdog, the hit/miss
+// split of senescence-gated Fresh queries (the live fresh-query hit
+// rate), and the memory-footprint gauges (series count, retained
+// samples, sketch bytes). A nil registry leaves the database
+// uninstrumented.
 func (db *Database) EnableTelemetry(reg *telemetry.Registry, prefix string) {
 	db.telRecords = reg.Counter(prefix + ".records")
 	db.telStaleMarks = reg.Counter(prefix + ".stale_marks")
 	db.telFreshHits = reg.Counter(prefix + ".fresh_hits")
 	db.telFreshMiss = reg.Counter(prefix + ".fresh_misses")
+	db.telSeries = reg.Gauge(prefix + ".series")
+	db.telRetained = reg.Gauge(prefix + ".retained_samples")
+	db.telSketchB = reg.Gauge(prefix + ".sketch_bytes")
 }
+
+// EnableSketches turns on per-series quantile sketches: every subsequent
+// Record of a successful measurement also feeds the series' sketch, and
+// the Quantile / SketchSummary / MergeSketchInto queries become live.
+// t configures the stall/micro-stall levels applied to every series
+// (zero thresholds disable those counters). Must be called before the
+// first Record — sketches cannot retroactively cover history.
+func (db *Database) EnableSketches(t sketch.Thresholds) {
+	if db.Records > 0 {
+		panic("core: EnableSketches must be called before the first Record")
+	}
+	db.sketchOn = true
+	db.sketchTh = t
+}
+
+// SketchesEnabled reports whether EnableSketches has been called.
+func (db *Database) SketchesEnabled() bool { return db.sketchOn }
 
 // Record stores a measurement as the current value, updates last-known on
 // success, and appends to history, evicting the oldest retained sample once
@@ -74,6 +114,14 @@ func (db *Database) EnableTelemetry(reg *telemetry.Registry, prefix string) {
 //
 //perf:noalloc
 func (db *Database) Record(m Measurement) {
+	if db.depthLocked {
+		if db.HistoryDepth != db.lockedDepth {
+			panic("core: Database.HistoryDepth changed after the first Record")
+		}
+	} else {
+		db.lockedDepth = db.HistoryDepth
+		db.depthLocked = true
+	}
 	key := dbKey{m.Path, m.Metric}
 	s := db.series[key]
 	if s == nil {
@@ -83,23 +131,45 @@ func (db *Database) Record(m Measurement) {
 		}
 		//lint:allow heapescape series creation: once per (path, metric), never on the steady recording path
 		s = &dbSeries{ring: make([]Measurement, depth)}
+		if db.sketchOn {
+			//lint:allow heapescape sketch creation: once per (path, metric), never on the steady recording path
+			s.sk = &sketch.Sketch{}
+			s.sk.SetThresholds(db.sketchTh)
+		}
 		db.series[key] = s
+		db.ringSlots += depth
+		db.telSeries.Set(float64(len(db.series)))
+		db.telSketchB.Set(float64(db.sketchBytes()))
 	}
 	s.current = m
 	s.stale = false
 	if m.OK() {
 		s.lastKnown = m
 		s.hasLast = true
+		if s.sk != nil {
+			s.sk.Update(m.Value)
+		}
 	}
 	if s.count < len(s.ring) {
 		s.ring[(s.head+s.count)%len(s.ring)] = m
 		s.count++
+		db.retained++
+		db.telRetained.Set(float64(db.retained))
 	} else {
 		s.ring[s.head] = m
 		s.head = (s.head + 1) % len(s.ring)
 	}
 	db.Records++
 	db.telRecords.Inc()
+}
+
+// sketchBytes is the memory held by per-series sketches.
+func (db *Database) sketchBytes() int {
+	if !db.sketchOn {
+		return 0
+	}
+	var s sketch.Sketch
+	return len(db.series) * s.Bytes()
 }
 
 // Current returns the latest sample for the series.
@@ -263,3 +333,56 @@ func (db *Database) MaxSenescence(now time.Duration) time.Duration {
 
 // Series reports the number of (path, metric) series recorded.
 func (db *Database) Series() int { return len(db.series) }
+
+// Quantile returns the estimated p-quantile of the series' successful
+// observations — the bounded-memory replacement for scanning history.
+// ok is false when the series is unknown or sketches are disabled.
+func (db *Database) Quantile(path PathID, metric metrics.Metric, p float64) (float64, bool) {
+	s := db.series[dbKey{path, metric}]
+	if s == nil || s.sk == nil || s.sk.Count() == 0 {
+		return 0, false
+	}
+	return s.sk.Quantile(p), true
+}
+
+// SketchSummary returns the series' full quantile digest (count, extremes,
+// mean, p50/p95/p99, stall counters). ok is false when the series is
+// unknown or sketches are disabled.
+func (db *Database) SketchSummary(path PathID, metric metrics.Metric) (sketch.Summary, bool) {
+	s := db.series[dbKey{path, metric}]
+	if s == nil || s.sk == nil || s.sk.Count() == 0 {
+		return sketch.Summary{}, false
+	}
+	return s.sk.Summary(), true
+}
+
+// MergeSketchInto folds the series' sketch into dst without modifying the
+// database — the export primitive hierarchical directors federate on. It
+// reports whether the series existed with a live sketch.
+func (db *Database) MergeSketchInto(dst *sketch.Sketch, path PathID, metric metrics.Metric) bool {
+	s := db.series[dbKey{path, metric}]
+	if s == nil || s.sk == nil || s.sk.Count() == 0 {
+		return false
+	}
+	dst.Merge(s.sk)
+	return true
+}
+
+// Footprint is the database's memory accounting, per the telemetry gauges
+// and experiment E15's bytes/series axis.
+type Footprint struct {
+	Series      int // (path, metric) series recorded
+	Retained    int // samples currently held in ring buffers
+	RingBytes   int // bytes allocated for ring-buffer history
+	SketchBytes int // bytes held by per-series quantile sketches
+}
+
+// Footprint reports the database's current memory accounting.
+func (db *Database) Footprint() Footprint {
+	return Footprint{
+		Series:      len(db.series),
+		Retained:    db.retained,
+		RingBytes:   db.ringSlots * int(unsafe.Sizeof(Measurement{})),
+		SketchBytes: db.sketchBytes(),
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/internal/sketch"
 )
 
 // DirectorBase is the common machinery of a sensor director: it owns the
@@ -22,6 +23,11 @@ type DirectorBase struct {
 	// Published counts measurements delivered.
 	Published uint64
 }
+
+var (
+	_ QuantileQuerier = (*DirectorBase)(nil)
+	_ SketchMerger    = (*DirectorBase)(nil)
+)
 
 // NewDirectorBase wires a director with a fresh database and report queue.
 func NewDirectorBase(k *sim.Kernel) DirectorBase {
@@ -87,3 +93,20 @@ func (d *DirectorBase) Reports() *sim.Queue[Measurement] { return d.reports }
 
 // Database exposes the measurement store for export and analysis.
 func (d *DirectorBase) Database() *Database { return d.DB }
+
+// Quantile implements QuantileQuerier by delegating to the database's
+// per-series sketch.
+func (d *DirectorBase) Quantile(path PathID, metric metrics.Metric, p float64) (float64, bool) {
+	return d.DB.Quantile(path, metric, p)
+}
+
+// QuantileSummary implements QuantileQuerier by delegating to the
+// database's per-series sketch.
+func (d *DirectorBase) QuantileSummary(path PathID, metric metrics.Metric) (sketch.Summary, bool) {
+	return d.DB.SketchSummary(path, metric)
+}
+
+// MergeSketchInto implements SketchMerger by delegating to the database.
+func (d *DirectorBase) MergeSketchInto(dst *sketch.Sketch, path PathID, metric metrics.Metric) bool {
+	return d.DB.MergeSketchInto(dst, path, metric)
+}

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"sort"
 	"time"
 
 	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/internal/sketch"
 )
 
 // ShardedMonitor federates per-region monitors into one resource-manager
@@ -26,7 +28,11 @@ type ShardedMonitor struct {
 	byPath  map[PathID]int
 }
 
-var _ Monitor = (*ShardedMonitor)(nil)
+var (
+	_ Monitor         = (*ShardedMonitor)(nil)
+	_ QuantileQuerier = (*ShardedMonitor)(nil)
+	_ SketchMerger    = (*ShardedMonitor)(nil)
+)
 
 // NewShardedMonitor builds the meta-director. owner maps a path to the
 // index of the member monitor that must collect it (typically: the shard or
@@ -118,6 +124,86 @@ func (s *ShardedMonitor) QueryFresh(path PathID, metric metrics.Metric, now, ttl
 		}
 	}
 	return Measurement{}, false
+}
+
+// Quantile implements QuantileQuerier by asking the owning member's
+// sketch; unknown paths fall back to scanning every member in index
+// order.
+func (s *ShardedMonitor) Quantile(path PathID, metric metrics.Metric, p float64) (float64, bool) {
+	if i, ok := s.byPath[path]; ok {
+		if qq, ok := s.members[i].(QuantileQuerier); ok {
+			return qq.Quantile(path, metric, p)
+		}
+		return 0, false
+	}
+	for _, m := range s.members {
+		if qq, ok := m.(QuantileQuerier); ok {
+			if v, ok := qq.Quantile(path, metric, p); ok {
+				return v, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// QuantileSummary implements QuantileQuerier across members.
+func (s *ShardedMonitor) QuantileSummary(path PathID, metric metrics.Metric) (sketch.Summary, bool) {
+	if i, ok := s.byPath[path]; ok {
+		if qq, ok := s.members[i].(QuantileQuerier); ok {
+			return qq.QuantileSummary(path, metric)
+		}
+		return sketch.Summary{}, false
+	}
+	for _, m := range s.members {
+		if qq, ok := m.(QuantileQuerier); ok {
+			if sum, ok := qq.QuantileSummary(path, metric); ok {
+				return sum, true
+			}
+		}
+	}
+	return sketch.Summary{}, false
+}
+
+// MergeSketchInto implements SketchMerger: the owning member's sketch for
+// the series is folded into dst.
+func (s *ShardedMonitor) MergeSketchInto(dst *sketch.Sketch, path PathID, metric metrics.Metric) bool {
+	if i, ok := s.byPath[path]; ok {
+		if sm, ok := s.members[i].(SketchMerger); ok {
+			return sm.MergeSketchInto(dst, path, metric)
+		}
+		return false
+	}
+	for _, m := range s.members {
+		if sm, ok := m.(SketchMerger); ok {
+			if sm.MergeSketchInto(dst, path, metric) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// AggregateSketch merges the per-path sketches for metric across the
+// federation into one summary sketch — the roll-up a hierarchical
+// director exports upward. Paths are merged in globally sorted order, NOT
+// member order: each path's sketch is identical no matter which shard
+// collected it (sampling is shard-transparent), so fixing the merge
+// sequence by path makes the aggregate bit-identical at any shard count.
+// ok is false when no path had a live sketch.
+func (s *ShardedMonitor) AggregateSketch(metric metrics.Metric, paths []PathID) (sketch.Sketch, bool) {
+	sorted := append([]PathID(nil), paths...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var agg sketch.Sketch
+	found := false
+	for i, p := range sorted {
+		if i > 0 && p == sorted[i-1] {
+			continue // duplicate path: merging twice would double-count
+		}
+		if s.MergeSketchInto(&agg, p, metric) {
+			found = true
+		}
+	}
+	return agg, found
 }
 
 // Reports returns nil: the federated monitor is pull-only (Monitor

@@ -69,6 +69,7 @@ func All() []Experiment {
 		{"E12", "Resilience layer under chaos: latency, staleness, waste", E12},
 		{"E13", "Self-telemetry: zero-perturbation monitor-of-the-monitor", E13},
 		{"E14", "Sharded kernel scaling: fixed workload vs shard count", E14},
+		{"E15", "Quantile sketch accuracy vs memory vs full history", E15},
 		{"A1", "Ablation: trap vs inform delivery under load", A1},
 		{"A2", "Ablation: test sequencer concurrency frontier", A2},
 		{"A3", "Ablation: GetNext walk vs GetBulk retrieval", A3},

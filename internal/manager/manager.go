@@ -40,6 +40,22 @@ type Policy struct {
 	// missing, not as evidence of health (or of failure). Zero preserves
 	// the legacy trust-anything behavior.
 	MaxStaleness time.Duration
+	// LatencyP95Max / LatencyP99Max, when > 0, put a ceiling on a path's
+	// p95/p99 one-way latency as estimated by the monitor's per-series
+	// quantile sketches (core.QuantileQuerier) — a tail-latency policy a
+	// current-value check cannot express: a path that is usually fine but
+	// freezes for one request in twenty violates p95 while sailing past
+	// MaxLatency most evaluations. Monitors that cannot answer quantile
+	// queries (no sketches enabled) skip the tail checks. Unlike current
+	// values, sketch digests aggregate the series' whole lifetime, so
+	// MaxStaleness does not gate them.
+	LatencyP95Max time.Duration
+	LatencyP99Max time.Duration
+	// TailMinSamples holds the tail checks back until a series' sketch
+	// has at least this many observations (default 32), so one early
+	// spike in a nearly-empty distribution cannot trigger
+	// reconfiguration.
+	TailMinSamples int
 }
 
 func (p Policy) withDefaults() Policy {
@@ -48,6 +64,9 @@ func (p Policy) withDefaults() Policy {
 	}
 	if p.EvalInterval <= 0 {
 		p.EvalInterval = time.Second
+	}
+	if p.TailMinSamples <= 0 {
+		p.TailMinSamples = 32
 	}
 	return p
 }
@@ -95,6 +114,7 @@ type Manager struct {
 	telEvals      *telemetry.Counter
 	telFailovers  *telemetry.Counter
 	telStaleReads *telemetry.Counter
+	telTailViols  *telemetry.Counter
 
 	host       *netsim.Node
 	mon        core.Monitor
@@ -123,7 +143,7 @@ func New(host *netsim.Node, mon core.Monitor, policy Policy) *Manager {
 	if m.Policy.MinThroughputBps > 0 {
 		m.Metrics = append(m.Metrics, metrics.Throughput)
 	}
-	if m.Policy.MaxLatency > 0 {
+	if m.Policy.MaxLatency > 0 || m.Policy.LatencyP95Max > 0 || m.Policy.LatencyP99Max > 0 {
 		m.Metrics = append(m.Metrics, metrics.OneWayLatency)
 	}
 	return m
@@ -131,12 +151,14 @@ func New(host *netsim.Node, mon core.Monitor, policy Policy) *Manager {
 
 // EnableTelemetry registers the manager's decision instruments under
 // prefix: policy evaluations run, failovers executed (actual host moves,
-// not pool-exhausted stalls), and queries rejected as stale under
-// Policy.MaxStaleness. A nil registry leaves the manager uninstrumented.
+// not pool-exhausted stalls), queries rejected as stale under
+// Policy.MaxStaleness, and tail-latency (p95/p99) policy violations. A
+// nil registry leaves the manager uninstrumented.
 func (m *Manager) EnableTelemetry(reg *telemetry.Registry, prefix string) {
 	m.telEvals = reg.Counter(prefix + ".evaluations")
 	m.telFailovers = reg.Counter(prefix + ".failovers")
 	m.telStaleReads = reg.Counter(prefix + ".stale_reads")
+	m.telTailViols = reg.Counter(prefix + ".tail_violations")
 }
 
 // DefinePool registers the replicated host pool for a role.
@@ -362,7 +384,40 @@ func (m *Manager) pathViolates(id core.PathID) (bad, have bool) {
 			}
 		}
 	}
+	if bad, ok := m.tailViolates(id); ok {
+		have = true
+		if bad {
+			return true, true
+		}
+	}
 	return false, have
+}
+
+// tailViolates evaluates the p95/p99 latency ceilings against the
+// monitor's quantile sketch for the path. ok is false when no tail policy
+// is set, the monitor cannot answer quantile queries, or the series has
+// fewer than Policy.TailMinSamples observations.
+func (m *Manager) tailViolates(id core.PathID) (bad, ok bool) {
+	if m.Policy.LatencyP95Max <= 0 && m.Policy.LatencyP99Max <= 0 {
+		return false, false
+	}
+	qq, isQQ := m.mon.(core.QuantileQuerier)
+	if !isQQ {
+		return false, false
+	}
+	sum, have := qq.QuantileSummary(id, metrics.OneWayLatency)
+	if !have || sum.Count < uint64(m.Policy.TailMinSamples) {
+		return false, false
+	}
+	if m.Policy.LatencyP95Max > 0 && sum.P95 > m.Policy.LatencyP95Max.Seconds() {
+		m.telTailViols.Inc()
+		return true, true
+	}
+	if m.Policy.LatencyP99Max > 0 && sum.P99 > m.Policy.LatencyP99Max.Seconds() {
+		m.telTailViols.Inc()
+		return true, true
+	}
+	return false, true
 }
 
 // failover moves a process to a fresh pool host and resubmits monitoring.

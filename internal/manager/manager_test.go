@@ -12,6 +12,8 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/nttcp"
 	"repro/internal/sim"
+	"repro/internal/sketch"
+	"repro/internal/telemetry"
 	"repro/internal/topo"
 )
 
@@ -297,5 +299,72 @@ func TestStaleDataTreatedAsMissingNotHealthy(t *testing.T) {
 	// may be triggered on age alone.
 	if len(mgr.Reconfigs) != 0 {
 		t.Fatalf("staleness alone caused reconfiguration: %v", mgr.Reconfigs)
+	}
+}
+
+// enableSketches turns on quantile sketches on the manager's monitor —
+// must run before the kernel starts recording.
+func enableSketches(t *testing.T, m *Manager) {
+	t.Helper()
+	hm, ok := m.Monitor().(*hifi.Monitor)
+	if !ok {
+		t.Fatalf("monitor is %T, want *hifi.Monitor", m.Monitor())
+	}
+	hm.Database().EnableSketches(sketch.Thresholds{})
+}
+
+func TestTailLatencyPolicyFires(t *testing.T) {
+	// A p95 ceiling nothing can meet: the tail check must fire on every
+	// path (the tail_violations counter advances), every process then
+	// looks failed, and the blackout guard keeps placements stable — the
+	// correct response to a policy no host can satisfy.
+	k, _, m := build(t, Policy{RequireReachable: true, LatencyP95Max: time.Nanosecond,
+		Grace: 2, EvalInterval: 500 * time.Millisecond, TailMinSamples: 4})
+	enableSketches(t, m)
+	reg := telemetry.NewRegistry()
+	m.EnableTelemetry(reg, "mgr")
+	m.Start("server", "client")
+	k.RunUntil(15 * time.Second)
+	if reg.Counter("mgr.tail_violations").Value() == 0 {
+		t.Fatal("tail-latency policy never fired despite an unmeetable ceiling")
+	}
+	for _, pl := range m.Placements() {
+		if pl.Incarnation != 0 {
+			t.Fatalf("unsatisfiable tail policy caused thrash: %+v", pl)
+		}
+	}
+}
+
+func TestTailLatencyPolicyQuietUnderCeiling(t *testing.T) {
+	// A generous p99 ceiling: healthy paths must not trip the tail check.
+	k, _, m := build(t, Policy{RequireReachable: true, LatencyP99Max: time.Hour,
+		Grace: 2, EvalInterval: 500 * time.Millisecond, TailMinSamples: 4})
+	enableSketches(t, m)
+	reg := telemetry.NewRegistry()
+	m.EnableTelemetry(reg, "mgr")
+	m.Start("server", "client")
+	k.RunUntil(15 * time.Second)
+	if v := reg.Counter("mgr.tail_violations").Value(); v != 0 {
+		t.Fatalf("tail policy fired %d times under a generous ceiling", v)
+	}
+	if len(m.Reconfigs) != 0 {
+		t.Fatalf("unexpected reconfigurations: %v", m.Reconfigs)
+	}
+}
+
+func TestTailPolicySkippedWithoutSketches(t *testing.T) {
+	// The monitor never enabled sketches: the tail check cannot answer and
+	// must be skipped — no panic, no phantom violations.
+	k, _, m := build(t, Policy{RequireReachable: true, LatencyP95Max: time.Nanosecond,
+		Grace: 2, EvalInterval: 500 * time.Millisecond, TailMinSamples: 4})
+	reg := telemetry.NewRegistry()
+	m.EnableTelemetry(reg, "mgr")
+	m.Start("server", "client")
+	k.RunUntil(10 * time.Second)
+	if v := reg.Counter("mgr.tail_violations").Value(); v != 0 {
+		t.Fatalf("tail policy fired %d times with no sketch to consult", v)
+	}
+	if len(m.Reconfigs) != 0 {
+		t.Fatalf("unexpected reconfigurations: %v", m.Reconfigs)
 	}
 }

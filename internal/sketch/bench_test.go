@@ -1,0 +1,40 @@
+package sketch
+
+import "testing"
+
+// benchFill returns a sketch fed n samples from a deterministic ramp —
+// past BufCap so the benchmark measures the steady-state marker path, not
+// the exact small-sample mode.
+func benchFill(n int, phase float64) *Sketch {
+	var s Sketch
+	for i := 0; i < n; i++ {
+		s.Update(phase + float64(i%997)/997)
+	}
+	return &s
+}
+
+// BenchmarkSketchUpdate measures the steady-state cost of one Update on a
+// warm sketch: the common case is a buffer append; every BufCap-th call
+// pays for a fold into the marker grid. The //perf:noalloc gate keeps the
+// whole path allocation-free.
+func BenchmarkSketchUpdate(b *testing.B) {
+	s := benchFill(4*BufCap, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Update(float64(i%997) / 997)
+	}
+}
+
+// BenchmarkSketchMerge measures folding one warm sketch into another —
+// the per-series cost of a federation roll-up.
+func BenchmarkSketchMerge(b *testing.B) {
+	src := benchFill(4*BufCap, 0.25)
+	base := benchFill(4*BufCap, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst := *base
+		dst.Merge(src)
+	}
+}

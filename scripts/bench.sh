@@ -19,8 +19,10 @@ trap 'rm -f "$raw"' EXIT
 echo "== micro-benchmarks (benchtime=$benchtime, count=$benchcount, keeping min) ==" >&2
 go test -run '^$' -bench 'BenchmarkSchedule$|BenchmarkEventDispatch$|BenchmarkProcSwitch$|BenchmarkEvery$|BenchmarkQueuePutGet$|BenchmarkCrossShardHandoff$|BenchmarkShardBarrier$' \
     -benchmem -benchtime "$benchtime" -count "$benchcount" ./internal/sim/ | tee -a "$raw" >&2
-go test -run '^$' -bench 'BenchmarkRecord$' \
+go test -run '^$' -bench 'BenchmarkRecord$|BenchmarkDBRecordWithSketch$' \
     -benchmem -benchtime "$benchtime" -count "$benchcount" ./internal/core/ | tee -a "$raw" >&2
+go test -run '^$' -bench 'BenchmarkSketchUpdate$|BenchmarkSketchMerge$' \
+    -benchmem -benchtime "$benchtime" -count "$benchcount" ./internal/sketch/ | tee -a "$raw" >&2
 
 echo "== experiment suite wall-clock (quick) ==" >&2
 go build -o /tmp/bench_experiments ./cmd/experiments
