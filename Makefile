@@ -42,6 +42,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzBERRoundTrip$$' -fuzztime 3s ./internal/asn1ber
 	$(GO) test -run '^$$' -fuzz '^FuzzMessageRoundTrip$$' -fuzztime 3s ./internal/snmp
 	$(GO) test -run '^$$' -fuzz '^FuzzSketchInvariants$$' -fuzztime 3s ./internal/sketch
+	$(GO) test -run '^$$' -fuzz '^FuzzTrapCoalesce$$' -fuzztime 3s ./internal/director
 
 # One iteration of every benchmark, package by package, failing loudly per
 # broken package (see scripts/bench_smoke.sh).

@@ -138,7 +138,7 @@ var simPackages = map[string]bool{
 	"manager": true, "flowmeter": true, "rstream": true, "topo": true,
 	"vclock": true, "mib": true, "snmp": true, "nttcp": true, "core": true,
 	"metrics": true, "report": true, "integration": true, "resilience": true,
-	"telemetry": true, "sketch": true,
+	"telemetry": true, "sketch": true, "director": true,
 }
 
 // AllowEntry is one //lint:allow comment: its key, position, and whether

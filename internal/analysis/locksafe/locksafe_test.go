@@ -8,5 +8,5 @@ import (
 )
 
 func TestLockSafe(t *testing.T) {
-	analysistest.Run(t, "testdata", locksafe.Analyzer, "a", "registry", "db")
+	analysistest.Run(t, "testdata", locksafe.Analyzer, "a", "registry", "db", "director")
 }

@@ -1,0 +1,45 @@
+// Package director is a fixture mirroring the director's trap pipeline:
+// the stats ledger is mutex-guarded because watchers read it, but the
+// trap loop must release the lock before blocking on the bounded queue —
+// holding it across the Get would deadlock the watchdog sweep.
+package director
+
+import (
+	"sync"
+
+	"sim"
+)
+
+type ledger struct {
+	mu        sync.Mutex
+	processed uint64
+	dropped   uint64
+}
+
+// account is the sanctioned shape: lock, bump the counters, unlock — the
+// blocking Get happens with no lock held.
+func account(l *ledger, p *sim.Proc, q *sim.Queue) {
+	v, ok := q.Get(p, 5)
+	l.mu.Lock()
+	if ok {
+		l.processed += uint64(v)
+	} else {
+		l.dropped++
+	}
+	l.mu.Unlock()
+}
+
+func badDrainUnderLock(l *ledger, p *sim.Proc, q *sim.Queue) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, ok := q.Get(p, 5); ok { // want `sim yield point Get called while holding l\.mu`
+		l.processed++
+	}
+}
+
+func badSuperviseSleep(l *ledger, p *sim.Proc) {
+	l.mu.Lock()
+	l.dropped++
+	p.Sleep(10) // want `sim yield point Sleep called while holding l\.mu`
+	l.mu.Unlock()
+}

@@ -8,5 +8,5 @@ import (
 )
 
 func TestSimDeterminism(t *testing.T) {
-	analysistest.Run(t, "testdata", simdeterminism.Analyzer, "sim", "clean", "telemetry", "sketch")
+	analysistest.Run(t, "testdata", simdeterminism.Analyzer, "sim", "clean", "telemetry", "sketch", "director")
 }

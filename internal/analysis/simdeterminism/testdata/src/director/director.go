@@ -1,0 +1,40 @@
+// Package director is a fixture mirroring the hierarchical director's hot
+// paths: trap ingest stamps arrivals and the re-export loop spaces its
+// batches, and both take virtual time from the kernel — a wall-clock read
+// or global-rand draw in either would break the bit-identical-across-shards
+// guarantee E16 asserts.
+package director
+
+import (
+	"math/rand"
+	"time"
+)
+
+type trap struct {
+	at    time.Duration
+	value float64
+}
+
+type station struct {
+	window time.Duration
+	queue  []trap
+}
+
+// offerAt is the sanctioned shape: the arrival stamp flows in from the
+// caller's kernel clock.
+func (s *station) offerAt(v float64, now time.Duration) {
+	s.queue = append(s.queue, trap{at: now, value: v})
+}
+
+func (s *station) badArrivalStamp(v float64) {
+	now := time.Duration(time.Now().UnixNano()) // want `time\.Now reads the wall clock`
+	s.queue = append(s.queue, trap{at: now, value: v})
+}
+
+func (s *station) badReexportJitter() time.Duration {
+	return s.window + time.Duration(rand.Int63n(1000)) // want `rand\.Int63n draws from the process-global source`
+}
+
+func (s *station) badCoalesceAge(t trap) time.Duration {
+	return time.Since(time.Time{}) - t.at // want `time\.Since reads the wall clock`
+}

@@ -54,6 +54,15 @@ type Monitor struct {
 	// detection latency and senescence against intrusiveness (§5.2.4).
 	PollInterval time.Duration
 
+	// TrapQueueCap bounds the station trap sink's ingest queue; 0 takes
+	// snmp.DefaultTrapQueueCap. Set before Start.
+	TrapQueueCap int
+
+	// OnTrapEvent, when set, observes every RMON threshold event the
+	// station ingests (after it is published as a measurement) — the hook
+	// a leaf director uses to feed its trap-coalescing stage.
+	OnTrapEvent func(source netsim.Addr, path core.PathID, rising bool, meas core.Measurement)
+
 	// Agents tracks the agents deployed by EnsureAgents, per host.
 	Agents map[netsim.Addr]*DeployedAgent
 
@@ -292,8 +301,11 @@ func (m *Monitor) Start() {
 	}
 	m.started = true
 	if m.sink == nil {
-		m.sink = snmp.StartTrapSink(m.host, 0, 256, time.Millisecond)
+		m.sink = snmp.StartTrapSink(m.host, 0, m.TrapQueueCap, time.Millisecond)
 		m.sink.OnTrap = m.onTrap
+		if m.telReg != nil {
+			m.sink.EnableTelemetry(m.telReg, "cots.trapsink")
+		}
 	}
 	m.host.Spawn("cots-director", func(p *sim.Proc) {
 		for !m.Stopped() {
@@ -489,6 +501,9 @@ func (m *Monitor) onTrap(msg *snmp.Message, from netsim.Addr) {
 	m.Publish(meas)
 	if watch.onEvent != nil {
 		watch.onEvent(msg.PDU.SpecificTrap == 1, meas)
+	}
+	if m.OnTrapEvent != nil {
+		m.OnTrapEvent(from, watch.path, msg.PDU.SpecificTrap == 1, meas)
 	}
 }
 

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+func TestE16TreeAbsorbsStormFlatDoesNot(t *testing.T) {
+	flat := e16Storm(true, true)
+	tree := e16Storm(true, false)
+
+	// The storm must actually overrun the flat station — otherwise the
+	// comparison discriminates nothing.
+	if flat.Dropped == 0 {
+		t.Fatal("flat station dropped no traps; storm too gentle")
+	}
+	if flat.Detect < 0 {
+		t.Fatal("flat station never delivered the victim signal")
+	}
+	if tree.Detect < 0 {
+		t.Fatal("tree never delivered the victim signal")
+	}
+	// The tree's point: the genuine alarm is not stuck behind the storm.
+	if tree.Detect*10 > flat.Detect {
+		t.Fatalf("tree detect %v not an order of magnitude under flat %v", tree.Detect, flat.Detect)
+	}
+	// Leaves shard the storm, coalescing absorbs the repeats, and the
+	// root (serving the manager) drops nothing.
+	if tree.Dropped != 0 {
+		t.Fatalf("tree dropped %d traps; leaves should absorb the quick-mode storm", tree.Dropped)
+	}
+	if tree.Coalesced == 0 {
+		t.Fatal("tree coalesced nothing; dedup windows not engaged")
+	}
+	if tree.Delivered >= flat.Delivered {
+		t.Fatalf("tree delivered %d >= flat %d; summarisation should shrink the top-level flow",
+			tree.Delivered, flat.Delivered)
+	}
+	// Freshness discipline holds on both shapes: reads through the gate
+	// are never senescent, and the manager keeps being served during the
+	// storm.
+	for _, st := range []e16Stats{flat, tree} {
+		if st.StaleActed != 0 {
+			t.Fatalf("stale-acted reads = %d, want 0", st.StaleActed)
+		}
+		if st.FreshReads == 0 {
+			t.Fatal("no fresh reads served during the storm")
+		}
+	}
+}
+
+func TestE16DrillAdoptsAndReclaims(t *testing.T) {
+	d := e16Drill(true)
+	if d.Adoptions != 1 || d.Reclaims != 1 {
+		t.Fatalf("adopt/reclaim = %d/%d, want 1/1", d.Adoptions, d.Reclaims)
+	}
+	if d.StaleActed != 0 {
+		t.Fatalf("stale-acted reads = %d during drill, want 0", d.StaleActed)
+	}
+	if d.OrphanRecover < 0 {
+		t.Fatal("orphaned shard never served fresh data again")
+	}
+	if d.OrphanRecover > 4*time.Second {
+		t.Fatalf("orphan recovery took %v; adoption not bounding staleness", d.OrphanRecover)
+	}
+}
+
+// TestE16BitIdenticalAcrossShards renders the E16 table under 1-, 2-, 4-
+// and 8-shard kernel groups: the director tree's ingest, coalescing,
+// re-export and failover logic must be oblivious to the scheduler shape.
+func TestE16BitIdenticalAcrossShards(t *testing.T) {
+	defer SetShards(0)
+	SetShards(1)
+	want := E16(true).String()
+	for _, n := range []int{2, 4, 8} {
+		SetShards(n)
+		if got := E16(true).String(); got != want {
+			t.Fatalf("E16 table differs at %d shards:\n--- 1 shard ---\n%s\n--- %d shards ---\n%s",
+				n, want, n, got)
+		}
+	}
+}
+
+func TestE16Deterministic(t *testing.T) {
+	for name, run := range map[string]func() e16Stats{
+		"flat":  func() e16Stats { return e16Storm(true, true) },
+		"tree":  func() e16Stats { return e16Storm(true, false) },
+		"drill": func() e16Stats { return e16Drill(true) },
+	} {
+		a, b := run(), run()
+		if a != b {
+			t.Fatalf("E16 %s run not seed-stable:\n  first  %+v\n  second %+v", name, a, b)
+		}
+	}
+}

@@ -70,6 +70,7 @@ func All() []Experiment {
 		{"E13", "Self-telemetry: zero-perturbation monitor-of-the-monitor", E13},
 		{"E14", "Sharded kernel scaling: fixed workload vs shard count", E14},
 		{"E15", "Quantile sketch accuracy vs memory vs full history", E15},
+		{"E16", "Hierarchical director tree vs flat station under trap storm", E16},
 		{"A1", "Ablation: trap vs inform delivery under load", A1},
 		{"A2", "Ablation: test sequencer concurrency frontier", A2},
 		{"A3", "Ablation: GetNext walk vs GetBulk retrieval", A3},

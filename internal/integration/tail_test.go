@@ -1,0 +1,126 @@
+package integration
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/cots"
+	"repro/internal/manager"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/sketch"
+	"repro/internal/telemetry"
+	"repro/internal/topo"
+)
+
+// TestTailThroughputPolicyFailsOverDegradedLAN closes the loop on the
+// sketch-backed tail policy: two app streams on separate LANs, a cots
+// monitor recording throughput and latency into quantile sketches, and a
+// manager holding a p95-confidence throughput floor. Degrading one LAN
+// starves that LAN's client of its stream; the manager must move the
+// client process off the degraded LAN on the tail-policy violation, and
+// the degraded link's inflated poll round trips must surface in the
+// latency sketch's stall and micro-stall counters.
+func TestTailThroughputPolicyFailsOverDegradedLAN(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Close()
+	h := topo.BuildScaled(k, 17, 3, 3)
+
+	// App traffic: a constant stream per LAN, server to client, at rate R.
+	const size, interval = 4096, 20 * time.Millisecond
+	rate := float64(size) * 8 / interval.Seconds() // ≈1.6 Mb/s
+	for lan := 0; lan < 2; lan++ {
+		src, dst := h.Hosts[lan*3], h.Hosts[lan*3+1]
+		netsim.NewSink(dst, 9)
+		(&netsim.CBRSource{Src: src, Dst: dst.Name, DstPort: 9,
+			Size: size, Interval: interval}).Run()
+	}
+
+	mon := cots.New(h.Mgmt, "public", 500*time.Millisecond)
+	// Short per-attempt timeout with three retries: on the lossy LAN a
+	// poll that burns one timeout reads as a micro-stall (one-way ≈
+	// RTT/2 ≈ 75ms) and one that burns two or more as a stall (≥150ms),
+	// against the sketch thresholds below.
+	mon.Client.Timeout = 150 * time.Millisecond
+	mon.Client.Retries = 3
+	mon.Database().EnableSketches(sketch.Thresholds{Stall: 0.12, MicroStall: 0.05})
+
+	mgr := manager.New(h.Mgmt, mon, manager.Policy{
+		// The tail policy under test: the path must sustain 80% of the
+		// stream rate with p95 confidence. Reachability and mean-value
+		// policies stay off so any failover is the tail check's doing.
+		ThroughputP95Min: 0.8 * rate,
+		LatencyP95Max:    10 * time.Second, // loose: only recruits the latency metric
+		TailMinSamples:   12,
+		EvalInterval:     500 * time.Millisecond,
+		Grace:            2,
+	})
+	reg := telemetry.NewRegistry()
+	mgr.EnableTelemetry(reg, "manager")
+	mgr.DefinePool("server", []netsim.Addr{h.Hosts[0].Name, h.Hosts[3].Name, h.Hosts[6].Name})
+	mgr.DefinePool("client", []netsim.Addr{h.Hosts[1].Name, h.Hosts[4].Name, h.Hosts[7].Name})
+	for _, pl := range []struct{ proc, role string }{
+		{"app-1", "server"}, {"app-2", "server"}, {"cl-1", "client"}, {"cl-2", "client"},
+	} {
+		if _, err := mgr.Place(pl.proc, pl.role); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mon.Start()
+	mgr.Start("server", "client")
+
+	// LAN 1 degrades mid-run: 40% loss starves cl-1's stream (and
+	// lengthens the monitor's polls into it).
+	degradeAt := 8 * time.Second
+	chaos.NewSchedule(h.Net).Degrade(h.LANs[0], 0.4, degradeAt, 40*time.Second)
+
+	victim := h.Hosts[1].Name // cl-1's placement before the failover
+	paths := mgr.PathList("server", "client")
+	k.RunUntil(40 * time.Second)
+
+	// The manager must have relocated cl-1 — the only process all of
+	// whose paths end on the degraded LAN — and nothing else.
+	moved := map[string]netsim.Addr{}
+	for _, r := range mgr.Reconfigs {
+		if r.From != r.To {
+			moved[r.Process] = r.To
+		}
+		if r.At < degradeAt {
+			t.Fatalf("reconfig %v before the LAN degraded", r)
+		}
+	}
+	if to, ok := moved["cl-1"]; !ok {
+		t.Fatalf("cl-1 never failed over; reconfigs: %v, tail violations: %d",
+			mgr.Reconfigs, reg.Counter("manager.tail_violations").Value())
+	} else if to == victim || to == h.Hosts[2].Name {
+		t.Fatalf("cl-1 moved to %s, still on the degraded LAN", to)
+	}
+	for _, proc := range []string{"app-1", "app-2", "cl-2"} {
+		if to, ok := moved[proc]; ok {
+			t.Fatalf("%s moved to %s; only cl-1's paths were all degraded", proc, to)
+		}
+	}
+	if reg.Counter("manager.tail_violations").Value() == 0 {
+		t.Fatal("failover happened without a recorded tail violation")
+	}
+
+	// End-to-end stall accounting: polls into the degraded LAN that
+	// needed one retry read as micro-stalls, two retries as stalls.
+	var stalls, micro uint64
+	for _, path := range paths {
+		if path.Hops[1].Host != victim {
+			continue
+		}
+		sum, ok := mon.Database().SketchSummary(path.ID, metrics.OneWayLatency)
+		if !ok {
+			t.Fatalf("no latency sketch for %s", path.ID)
+		}
+		stalls += sum.Stalls
+		micro += sum.MicroStalls
+	}
+	if stalls == 0 || micro == 0 {
+		t.Fatalf("degraded-LAN latency sketch recorded stalls=%d micro-stalls=%d, want both > 0", stalls, micro)
+	}
+}

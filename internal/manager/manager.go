@@ -51,6 +51,14 @@ type Policy struct {
 	// MaxStaleness does not gate them.
 	LatencyP95Max time.Duration
 	LatencyP99Max time.Duration
+	// ThroughputP95Min, when > 0, is the throughput the path must sustain
+	// with 95% confidence: the series' 5th-percentile sample (the rate
+	// exceeded by 95% of observations) must stay at or above this floor.
+	// A path that usually streams fine but starves one interval in ten
+	// violates it while its mean — and most current-value checks — look
+	// healthy. Like the latency tails it reads the monitor's quantile
+	// sketches and is gated by TailMinSamples.
+	ThroughputP95Min float64
 	// TailMinSamples holds the tail checks back until a series' sketch
 	// has at least this many observations (default 32), so one early
 	// spike in a nearly-empty distribution cannot trigger
@@ -140,7 +148,7 @@ func New(host *netsim.Node, mon core.Monitor, policy Policy) *Manager {
 		lastFailed: make(map[netsim.Addr]time.Duration),
 	}
 	m.Metrics = []metrics.Metric{metrics.Reachability}
-	if m.Policy.MinThroughputBps > 0 {
+	if m.Policy.MinThroughputBps > 0 || m.Policy.ThroughputP95Min > 0 {
 		m.Metrics = append(m.Metrics, metrics.Throughput)
 	}
 	if m.Policy.MaxLatency > 0 || m.Policy.LatencyP95Max > 0 || m.Policy.LatencyP99Max > 0 {
@@ -152,8 +160,9 @@ func New(host *netsim.Node, mon core.Monitor, policy Policy) *Manager {
 // EnableTelemetry registers the manager's decision instruments under
 // prefix: policy evaluations run, failovers executed (actual host moves,
 // not pool-exhausted stalls), queries rejected as stale under
-// Policy.MaxStaleness, and tail-latency (p95/p99) policy violations. A
-// nil registry leaves the manager uninstrumented.
+// Policy.MaxStaleness, and tail policy violations (p95/p99 latency
+// ceilings, p95-confidence throughput floor). A nil registry leaves the
+// manager uninstrumented.
 func (m *Manager) EnableTelemetry(reg *telemetry.Registry, prefix string) {
 	m.telEvals = reg.Counter(prefix + ".evaluations")
 	m.telFailovers = reg.Counter(prefix + ".failovers")
@@ -393,31 +402,48 @@ func (m *Manager) pathViolates(id core.PathID) (bad, have bool) {
 	return false, have
 }
 
-// tailViolates evaluates the p95/p99 latency ceilings against the
-// monitor's quantile sketch for the path. ok is false when no tail policy
-// is set, the monitor cannot answer quantile queries, or the series has
-// fewer than Policy.TailMinSamples observations.
+// tailViolates evaluates the distributional policies — the p95/p99
+// latency ceilings and the p95-confidence throughput floor — against the
+// monitor's quantile sketches for the path. ok is false when no tail
+// policy is set, the monitor cannot answer quantile queries, or no
+// consulted series has Policy.TailMinSamples observations yet.
 func (m *Manager) tailViolates(id core.PathID) (bad, ok bool) {
-	if m.Policy.LatencyP95Max <= 0 && m.Policy.LatencyP99Max <= 0 {
+	latTail := m.Policy.LatencyP95Max > 0 || m.Policy.LatencyP99Max > 0
+	tpTail := m.Policy.ThroughputP95Min > 0
+	if !latTail && !tpTail {
 		return false, false
 	}
 	qq, isQQ := m.mon.(core.QuantileQuerier)
 	if !isQQ {
 		return false, false
 	}
-	sum, have := qq.QuantileSummary(id, metrics.OneWayLatency)
-	if !have || sum.Count < uint64(m.Policy.TailMinSamples) {
-		return false, false
+	if latTail {
+		sum, have := qq.QuantileSummary(id, metrics.OneWayLatency)
+		if have && sum.Count >= uint64(m.Policy.TailMinSamples) {
+			ok = true
+			if m.Policy.LatencyP95Max > 0 && sum.P95 > m.Policy.LatencyP95Max.Seconds() {
+				m.telTailViols.Inc()
+				return true, true
+			}
+			if m.Policy.LatencyP99Max > 0 && sum.P99 > m.Policy.LatencyP99Max.Seconds() {
+				m.telTailViols.Inc()
+				return true, true
+			}
+		}
 	}
-	if m.Policy.LatencyP95Max > 0 && sum.P95 > m.Policy.LatencyP95Max.Seconds() {
-		m.telTailViols.Inc()
-		return true, true
+	if tpTail {
+		sum, have := qq.QuantileSummary(id, metrics.Throughput)
+		if have && sum.Count >= uint64(m.Policy.TailMinSamples) {
+			ok = true
+			// The 5th-percentile sample is the throughput sustained 95% of
+			// the time; below the floor, the path starves too often.
+			if p05, qok := qq.Quantile(id, metrics.Throughput, 0.05); qok && p05 < m.Policy.ThroughputP95Min {
+				m.telTailViols.Inc()
+				return true, true
+			}
+		}
 	}
-	if m.Policy.LatencyP99Max > 0 && sum.P99 > m.Policy.LatencyP99Max.Seconds() {
-		m.telTailViols.Inc()
-		return true, true
-	}
-	return false, true
+	return false, ok
 }
 
 // failover moves a process to a fresh pool host and resubmits monitoring.

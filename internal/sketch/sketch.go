@@ -463,9 +463,15 @@ func (s *Sketch) Merge(o *Sketch) {
 
 	switch {
 	case s.inMarkers == 0 && o.inMarkers == 0 && s.nbuf+o.nbuf <= BufCap:
-		// Both exact and the union fits: stay exact.
+		// Both exact and the union fits: stay exact. A union that fills
+		// the buffer exactly must fold now — ingest writes before it
+		// checks capacity, so leaving nbuf at BufCap corrupts the next
+		// update.
 		copy(s.buf[s.nbuf:], o.buf[:o.nbuf])
 		s.nbuf += o.nbuf
+		if s.nbuf == BufCap {
+			s.fold()
+		}
 	case o.inMarkers == 0:
 		// o's observations are all still individually retained: replay
 		// them in arrival order.

@@ -292,6 +292,30 @@ func TestMergeIntoEmpty(t *testing.T) {
 	}
 }
 
+// TestMergeExactFillThenUpdate: a merge of two exact sketches whose union
+// fills the buffer exactly must fold, so the next Update (or further
+// merge) has buffer space. Regression: the exact-union path used to leave
+// nbuf == BufCap, and the following ingest indexed past the buffer.
+func TestMergeExactFillThenUpdate(t *testing.T) {
+	for _, split := range []int{1, BufCap / 2, BufCap - 1} {
+		var a, b Sketch
+		for i := 0; i < split; i++ {
+			a.Update(float64(i))
+		}
+		for i := split; i < BufCap; i++ {
+			b.Update(float64(i))
+		}
+		a.Merge(&b)
+		a.Update(float64(BufCap)) // must not panic
+		if a.Count() != uint64(BufCap+1) {
+			t.Fatalf("split %d: count = %d, want %d", split, a.Count(), BufCap+1)
+		}
+		if a.Max() != float64(BufCap) {
+			t.Fatalf("split %d: max = %v, want %v", split, a.Max(), float64(BufCap))
+		}
+	}
+}
+
 func TestBytesFixed(t *testing.T) {
 	var a, b Sketch
 	for i := 0; i < 10000; i++ {

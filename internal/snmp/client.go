@@ -293,6 +293,10 @@ type TrapSink struct {
 
 	sock  *netsim.UDPSock
 	queue *sim.Queue[trapItem]
+
+	// Telemetry instrument handles (nil = disabled); see EnableTelemetry.
+	telArrived, telDropped, telProcessed *telemetry.Counter
+	telDepth                             *telemetry.Gauge
 }
 
 type trapItem struct {
@@ -300,10 +304,30 @@ type trapItem struct {
 	from netsim.Addr
 }
 
-// StartTrapSink binds the sink and spawns its receiver and processor procs.
+// DefaultTrapQueueCap bounds the sink's application queue when the caller
+// passes no explicit capacity: a station overrun must shed traps with
+// accounting, never buffer without limit.
+const DefaultTrapQueueCap = 256
+
+// EnableTelemetry registers the sink's overflow accounting under
+// prefix: arrived/dropped/processed trap counters and the current queue
+// depth. A nil registry leaves the sink silent.
+func (s *TrapSink) EnableTelemetry(reg *telemetry.Registry, prefix string) {
+	s.telArrived = reg.Counter(prefix + ".arrived")
+	s.telDropped = reg.Counter(prefix + ".dropped")
+	s.telProcessed = reg.Counter(prefix + ".processed")
+	s.telDepth = reg.Gauge(prefix + ".queue_depth")
+}
+
+// StartTrapSink binds the sink and spawns its receiver and processor
+// procs. A non-positive queueCap gets DefaultTrapQueueCap — the queue is
+// always bounded.
 func StartTrapSink(n *netsim.Node, port netsim.Port, queueCap int, procTime time.Duration) *TrapSink {
 	if port == 0 {
 		port = TrapPort
+	}
+	if queueCap <= 0 {
+		queueCap = DefaultTrapQueueCap
 	}
 	s := &TrapSink{
 		Node:     n,
@@ -327,8 +351,11 @@ func StartTrapSink(n *netsim.Node, port netsim.Port, queueCap int, procTime time
 			case TrapV1, TrapV2:
 				if s.queue.Put(trapItem{msg, pkt.Src}) {
 					s.Stats.Arrived++
+					s.telArrived.Inc()
+					s.telDepth.Set(float64(s.queue.Len()))
 				} else {
 					s.Stats.Dropped++
+					s.telDropped.Inc()
 				}
 			case InformRequest:
 				// Acknowledge only what the station can actually ingest;
@@ -336,11 +363,14 @@ func StartTrapSink(n *netsim.Node, port netsim.Port, queueCap int, procTime time
 				if s.queue.Put(trapItem{msg, pkt.Src}) {
 					s.Stats.Arrived++
 					s.Stats.InformsAcked++
+					s.telArrived.Inc()
+					s.telDepth.Set(float64(s.queue.Len()))
 					ack := &Message{Version: msg.Version, Community: msg.Community}
 					ack.PDU = PDU{Type: GetResponse, RequestID: msg.PDU.RequestID, VarBinds: msg.PDU.VarBinds}
 					s.sock.SendTo(pkt.Src, pkt.SrcPort, ack.Encode())
 				} else {
 					s.Stats.Dropped++
+					s.telDropped.Inc()
 				}
 			}
 		}
@@ -355,6 +385,8 @@ func StartTrapSink(n *netsim.Node, port netsim.Port, queueCap int, procTime time
 				p.Sleep(s.ProcTime)
 			}
 			s.Stats.Processed++
+			s.telProcessed.Inc()
+			s.telDepth.Set(float64(s.queue.Len()))
 			if s.OnTrap != nil {
 				s.OnTrap(item.msg, item.from)
 			}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/mib"
 	"repro/internal/netsim"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 func TestMessageRoundTrip(t *testing.T) {
@@ -301,6 +302,50 @@ func TestTrapSinkOverrun(t *testing.T) {
 	if total != 500 {
 		t.Fatalf("trap accounting: %d processed + %d dropped + %d sock + %d egress = %d, want 500",
 			sink.Stats.Processed, sink.Stats.Dropped, sink.SocketDrops(), egress, total)
+	}
+}
+
+// TestTrapSinkDefaultCapAndTelemetry floods a sink built with queueCap 0:
+// the queue must be bounded at DefaultTrapQueueCap (never unbounded), and
+// the telemetry instruments must agree exactly with the sink's own
+// overflow accounting.
+func TestTrapSinkDefaultCapAndTelemetry(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Close()
+	nw := netsim.New(k, 9)
+	station := nw.NewHost("station")
+	src := nw.NewHost("prober")
+	seg := nw.NewSegment("lan", netsim.Ethernet100())
+	seg.Attach(station)
+	seg.Attach(src)
+	sink := StartTrapSink(station, 0, 0, 5*time.Millisecond)
+	reg := telemetry.NewRegistry()
+	sink.EnableTelemetry(reg, "snmp.trapsink")
+	agent := NewAgent(mib.NewTree(), "public")
+	agent.AddTrapDestSim(src, "station", 0)
+	send := 3 * DefaultTrapQueueCap
+	k.Spawn("flood", func(p *sim.Proc) {
+		for i := 0; i < send; i++ {
+			agent.SendTrap(mib.Enterprise, nil, TrapEnterpriseSpecific, i, nil)
+			p.Sleep(100 * time.Microsecond)
+		}
+	})
+	k.RunUntil(30 * time.Second)
+	if sink.Stats.Dropped == 0 {
+		t.Fatalf("no queue drops at default cap: %+v", sink.Stats)
+	}
+	if sink.Stats.Arrived > uint64(send) {
+		t.Fatalf("arrived %d exceeds %d sent — queue not bounded at the default cap?",
+			sink.Stats.Arrived, send)
+	}
+	for name, want := range map[string]uint64{
+		"snmp.trapsink.arrived":   sink.Stats.Arrived,
+		"snmp.trapsink.dropped":   sink.Stats.Dropped,
+		"snmp.trapsink.processed": sink.Stats.Processed,
+	} {
+		if got := reg.Counter(name).Value(); got != want {
+			t.Errorf("telemetry %s = %d, want %d (sink stats %+v)", name, got, want, sink.Stats)
+		}
 	}
 }
 

@@ -23,6 +23,8 @@ go test -run '^$' -bench 'BenchmarkRecord$|BenchmarkDBRecordWithSketch$' \
     -benchmem -benchtime "$benchtime" -count "$benchcount" ./internal/core/ | tee -a "$raw" >&2
 go test -run '^$' -bench 'BenchmarkSketchUpdate$|BenchmarkSketchMerge$' \
     -benchmem -benchtime "$benchtime" -count "$benchcount" ./internal/sketch/ | tee -a "$raw" >&2
+go test -run '^$' -bench 'BenchmarkTrapIngest$|BenchmarkDirectorReexport$' \
+    -benchmem -benchtime "$benchtime" -count "$benchcount" ./internal/director/ | tee -a "$raw" >&2
 
 echo "== experiment suite wall-clock (quick) ==" >&2
 go build -o /tmp/bench_experiments ./cmd/experiments
