@@ -5,7 +5,7 @@ GO ?= go
 # this floor. Raise it when coverage rises; never lower it to make a PR pass.
 COVER_FLOOR ?= 85.0
 
-.PHONY: ci vet build test race analyze fuzz-smoke bench-smoke bench-check cover bench bench-shard test-shard experiments e15-artifact
+.PHONY: ci vet build test race analyze fuzz-smoke bench-smoke bench-check cover bench bench-shard test-shard experiments e15-artifact results-gate
 
 ci: vet build test race test-shard analyze fuzz-smoke bench-smoke bench-check
 
@@ -81,3 +81,11 @@ experiments:
 # per PR like the perf numbers are.
 e15-artifact:
 	$(GO) run ./cmd/experiments -quick -json E15 > E15_sketch.json
+
+# Scenario pass/fail gate over the durable results pipeline: runs the
+# comparison scenarios with -results, verifies the tolerance tripwire
+# actually trips, then holds hybrid-vs-hifi fidelity, resilience on/off
+# detection latency, and 1-vs-8-shard bit-identity to their tolerances
+# (see scripts/results_gate.sh and DESIGN.md §14). Artifacts in results/.
+results-gate:
+	scripts/results_gate.sh

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/results"
 	"repro/internal/telemetry"
 )
 
@@ -26,9 +27,19 @@ func main() {
 	workers := flag.Int("j", runtime.NumCPU(), "experiments to run concurrently")
 	shards := flag.Int("shards", 0, "run each experiment's kernel as shard 0 of an n-shard group (0 = plain kernel); tables are byte-identical at any value")
 	telem := flag.String("telemetry", "", "instead of tables, run the instrumented chaos scenario and dump its self-telemetry (text | json)")
+	resultsPath := flag.String("results", "", "append schema-versioned JSONL result envelopes to this file (one record per table row, or per sample batch with -scenario)")
+	scenario := flag.String("scenario", "", "instead of tables, run the named comparison scenario and stream its result envelopes to -results (see -list)")
 	flag.Parse()
 
 	experiments.SetShards(*shards)
+
+	if *scenario != "" {
+		if err := runScenario(*scenario, *quick, *shards, *resultsPath); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(2)
+		}
+		return
+	}
 
 	if *telem != "" {
 		reg, tracer := experiments.CollectTelemetry(*quick)
@@ -43,6 +54,9 @@ func main() {
 	if *list {
 		for _, e := range all {
 			fmt.Printf("%-4s %s\n", e.ID, e.Name)
+		}
+		for _, s := range experiments.Scenarios() {
+			fmt.Printf("scenario %-16s %s\n", s.Name, s.Desc)
 		}
 		return
 	}
@@ -79,7 +93,27 @@ func main() {
 	if *jsonOut {
 		fmt.Println("[")
 	}
+	var resW *results.Writer
+	if *resultsPath != "" {
+		f, err := os.Create(*resultsPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		resW = results.NewWriter(f, "suite", *shards, runMeta())
+	}
 	for i, r := range experiments.RunAll(selected, *quick, *workers) {
+		if resW != nil {
+			// Tables convert to envelopes after the fact, so recording can
+			// never perturb an experiment's outcome.
+			for _, rec := range results.FromTable(r.Table) {
+				if err := resW.Write(rec); err != nil {
+					fmt.Fprintf(os.Stderr, "experiments: results: %v\n", err)
+					os.Exit(2)
+				}
+			}
+		}
 		switch {
 		case *jsonOut:
 			b, err := r.Table.JSON()
@@ -107,6 +141,44 @@ func main() {
 	if *jsonOut {
 		fmt.Println("\n]")
 	}
+}
+
+// runMeta is the environmental identity stamped on result-stream headers.
+// It deliberately carries no wall-clock field: two runs of the same tree
+// on the same toolchain must produce byte-identical streams.
+func runMeta() results.RunMeta {
+	return results.RunMeta{
+		Tool:   "cmd/experiments",
+		Go:     runtime.Version(),
+		Commit: os.Getenv("GITHUB_SHA"),
+	}
+}
+
+// runScenario executes one named comparison scenario, streaming its
+// envelopes to path.
+func runScenario(name string, quick bool, shards int, path string) error {
+	sc, ok := experiments.ScenarioByName(name)
+	if !ok {
+		return fmt.Errorf("unknown scenario %q (use -list)", name)
+	}
+	if path == "" {
+		return fmt.Errorf("-scenario requires -results (the scenario's only output is its envelope stream)")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := results.NewWriter(f, name, shards, runMeta())
+	sc.Run(quick, w)
+	if err := w.Err(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "[scenario %s: %d records -> %s]\n", name, w.Records(), path)
+	return nil
 }
 
 // exportTelemetry writes the registry and trace in the requested format:

@@ -1,0 +1,151 @@
+// Command results reads the durable JSONL result streams that
+// cmd/experiments writes (-results / -scenario) and turns them into
+// machine-readable summaries and pass/fail scenario comparisons:
+//
+//	results summary a.jsonl [b.jsonl ...]
+//	    Emit a JSON array of per-file summaries: per-(batch, metric)
+//	    count/min/max/mean plus sketch-backed p50/p95/p99, per-metric
+//	    rollups, and a canonical record digest.
+//
+//	results compare -tolerance 10 [-fields mean,p50] [-match str] a.jsonl b.jsonl
+//	    Compare two scenario result sets the way k8s-netperf's
+//	    --tcp-tolerance does: every (batch, metric) key present in both
+//	    is compared field by field, and the command exits 1 — naming
+//	    each offending metric — when any diverges by more than the
+//	    tolerance percentage. Tolerance 0 demands exact equality, the
+//	    shard-transparency contract.
+//
+// Exit codes: 0 in tolerance, 1 divergence, 2 usage or read error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/results"
+)
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// run is main with its streams and exit code lifted out for testing.
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) < 1 {
+		fmt.Fprintln(stderr, "usage: results summary|compare [flags] file.jsonl...")
+		return 2
+	}
+	switch args[0] {
+	case "summary":
+		return runSummary(args[1:], stdout, stderr)
+	case "compare":
+		return runCompare(args[1:], stdout, stderr)
+	default:
+		fmt.Fprintf(stderr, "results: unknown subcommand %q (use summary or compare)\n", args[0])
+		return 2
+	}
+}
+
+// load reads and summarizes one result stream.
+func load(path string, stderr io.Writer) (*results.Summary, bool) {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintf(stderr, "results: %v\n", err)
+		return nil, false
+	}
+	defer f.Close()
+	set, err := results.Read(f)
+	if err != nil {
+		fmt.Fprintf(stderr, "results: %s: %v\n", path, err)
+		return nil, false
+	}
+	if set.Truncated {
+		fmt.Fprintf(stderr, "results: %s: stream ends in a torn line (crashed writer?); %d complete records kept\n",
+			path, len(set.Records))
+	}
+	return results.Summarize(set), true
+}
+
+func runSummary(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("summary", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	if fs.Parse(args) != nil || fs.NArg() == 0 {
+		fmt.Fprintln(stderr, "usage: results summary file.jsonl...")
+		return 2
+	}
+	var sums []*results.Summary
+	for _, path := range fs.Args() {
+		s, ok := load(path, stderr)
+		if !ok {
+			return 2
+		}
+		sums = append(sums, s)
+	}
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(sums); err != nil {
+		fmt.Fprintf(stderr, "results: %v\n", err)
+		return 2
+	}
+	return 0
+}
+
+func runCompare(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("compare", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	tol := fs.Float64("tolerance", 10, "allowed divergence in percent; 0 demands exact equality")
+	fieldSpec := fs.String("fields", "count,min,max,mean,p50,p95,p99", "comma-separated summary fields to compare")
+	match := fs.String("match", "", "only compare (batch, metric) keys whose batch/metric string contains this")
+	jsonOut := fs.Bool("json", false, "emit the comparison as JSON instead of text")
+	if fs.Parse(args) != nil || fs.NArg() != 2 {
+		fmt.Fprintln(stderr, "usage: results compare [-tolerance pct] [-fields list] [-match str] a.jsonl b.jsonl")
+		return 2
+	}
+	fields, err := results.ValidFields(*fieldSpec)
+	if err != nil {
+		fmt.Fprintf(stderr, "results: %v\n", err)
+		return 2
+	}
+	a, ok := load(fs.Arg(0), stderr)
+	if !ok {
+		return 2
+	}
+	b, ok := load(fs.Arg(1), stderr)
+	if !ok {
+		return 2
+	}
+	c := results.CompareSummaries(a, b, *tol, fields, *match)
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(c); err != nil {
+			fmt.Fprintf(stderr, "results: %v\n", err)
+			return 2
+		}
+	} else {
+		ident := ""
+		if c.RecordsIdentical {
+			ident = ", record streams bit-identical"
+		}
+		fmt.Fprintf(stdout, "compare %q (A) vs %q (B): %d keys, tolerance %g%%%s\n",
+			c.ScenarioA, c.ScenarioB, c.Compared, c.TolerancePct, ident)
+		for _, d := range c.Divergences {
+			fmt.Fprintf(stdout, "DIVERGENCE %s\n", d)
+		}
+	}
+	if c.Compared == 0 {
+		fmt.Fprintf(stderr, "results: no (batch, metric) keys matched in both sets — nothing was compared\n")
+		return 2
+	}
+	if len(c.Divergences) > 0 {
+		if !*jsonOut { // keep stdout pure JSON under -json; the exit code carries the verdict
+			fmt.Fprintf(stdout, "FAIL: %d metric(s) outside the %g%% tolerance\n", len(c.Divergences), c.TolerancePct)
+		}
+		return 1
+	}
+	if !*jsonOut {
+		fmt.Fprintf(stdout, "PASS: all compared metrics within %g%%\n", c.TolerancePct)
+	}
+	return 0
+}

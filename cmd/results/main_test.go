@@ -1,0 +1,147 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeStream drops a two-line scenario stream whose single batch holds
+// the given samples.
+func writeStream(t *testing.T, dir, scenario string, samples string) string {
+	t.Helper()
+	path := filepath.Join(dir, scenario+".jsonl")
+	content := `{"schema_version":1,"scenario":"` + scenario + `","shards":1,"run":{"tool":"main_test"}}` + "\n" +
+		`{"schema_version":1,"scenario":"` + scenario + `","shards":1,"record":{"batch":"p1","metric":"throughput","unit":"bits/s","at_ns":1000,"samples":[` + samples + `]}}` + "\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestCompareTripwire is the gate's self-check in miniature: an injected
+// out-of-tolerance divergence must exit non-zero and name the offending
+// metric; an in-tolerance pair must exit 0.
+func TestCompareTripwire(t *testing.T) {
+	dir := t.TempDir()
+	base := writeStream(t, dir, "base", "100,100,100,100")
+	diverged := writeStream(t, dir, "diverged", "150,150,150,150")
+	near := writeStream(t, dir, "near", "104,104,104,104")
+
+	var out, errOut bytes.Buffer
+	if code := run([]string{"compare", "-tolerance", "10", base, diverged}, &out, &errOut); code != 1 {
+		t.Fatalf("50%% divergence at 10%% tolerance exited %d, want 1\n%s%s", code, out.String(), errOut.String())
+	}
+	for _, want := range []string{"p1/throughput mean", "FAIL"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("failing compare output lacks %q:\n%s", want, out.String())
+		}
+	}
+
+	out.Reset()
+	if code := run([]string{"compare", "-tolerance", "10", base, near}, &out, &errOut); code != 0 {
+		t.Fatalf("4%% divergence at 10%% tolerance exited %d, want 0\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "PASS") {
+		t.Errorf("passing compare did not say PASS:\n%s", out.String())
+	}
+}
+
+func TestCompareToleranceZeroAndIdentity(t *testing.T) {
+	dir := t.TempDir()
+	a := writeStream(t, dir, "a", "1,2,3")
+	var out, errOut bytes.Buffer
+	if code := run([]string{"compare", "-tolerance", "0", a, a}, &out, &errOut); code != 0 {
+		t.Fatalf("file against itself at tolerance 0 exited %d\n%s%s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "record streams bit-identical") {
+		t.Errorf("identical streams not flagged bit-identical:\n%s", out.String())
+	}
+}
+
+func TestCompareJSONOutput(t *testing.T) {
+	dir := t.TempDir()
+	a := writeStream(t, dir, "a", "100")
+	b := writeStream(t, dir, "b", "150")
+	var out, errOut bytes.Buffer
+	if code := run([]string{"compare", "-json", "-tolerance", "10", a, b}, &out, &errOut); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	var c struct {
+		Divergences []struct {
+			Batch  string `json:"batch"`
+			Metric string `json:"metric"`
+		} `json:"divergences"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &c); err != nil {
+		t.Fatalf("-json output is not JSON: %v\n%s", err, out.String())
+	}
+	if len(c.Divergences) == 0 || c.Divergences[0].Metric != "throughput" {
+		t.Errorf("JSON divergences wrong: %+v", c)
+	}
+}
+
+func TestCompareUsageErrors(t *testing.T) {
+	dir := t.TempDir()
+	a := writeStream(t, dir, "a", "1")
+	var out, errOut bytes.Buffer
+	cases := [][]string{
+		{},                                  // no subcommand
+		{"frobnicate"},                      // unknown subcommand
+		{"compare", a},                      // one file
+		{"compare", "-fields", "p42", a, a}, // bad field
+		{"compare", "-match", "no-such-key", a, a},         // nothing compared
+		{"compare", a, filepath.Join(dir, "absent.jsonl")}, // unreadable
+		{"summary"}, // no files
+	}
+	for _, args := range cases {
+		if code := run(args, &out, &errOut); code != 2 {
+			t.Errorf("run(%q) = %d, want 2", args, code)
+		}
+	}
+}
+
+func TestSummaryEmitsParseableJSON(t *testing.T) {
+	dir := t.TempDir()
+	a := writeStream(t, dir, "a", "1,2,3")
+	var out, errOut bytes.Buffer
+	if code := run([]string{"summary", a}, &out, &errOut); code != 0 {
+		t.Fatalf("summary exited %d: %s", code, errOut.String())
+	}
+	var sums []struct {
+		Scenario string `json:"scenario"`
+		Records  int    `json:"records"`
+		Digest   string `json:"record_digest"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &sums); err != nil {
+		t.Fatalf("summary output is not JSON: %v", err)
+	}
+	if len(sums) != 1 || sums[0].Scenario != "a" || sums[0].Records != 1 || sums[0].Digest == "" {
+		t.Errorf("summary content wrong: %+v", sums)
+	}
+}
+
+// TestSummaryToleratesTornLastLine mirrors the reader's crash-durability
+// contract at the CLI layer: a torn final line warns but still summarizes.
+func TestSummaryToleratesTornLastLine(t *testing.T) {
+	dir := t.TempDir()
+	path := writeStream(t, dir, "torn", "1,2,3")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := append(raw, []byte(`{"schema_version":1,"scen`)...)
+	if err := os.WriteFile(path, full, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut bytes.Buffer
+	if code := run([]string{"summary", path}, &out, &errOut); code != 0 {
+		t.Fatalf("torn stream exited %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "torn line") {
+		t.Errorf("no torn-line warning on stderr: %s", errOut.String())
+	}
+}

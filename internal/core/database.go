@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sort"
 	"time"
 	"unsafe"
 
@@ -24,11 +25,18 @@ type dbSeries struct {
 	current   Measurement
 	lastKnown Measurement
 	hasLast   bool
-	stale     bool          // marked by MarkStale; cleared by the next Record
-	ring      []Measurement // fixed capacity == history depth
-	head      int           // index of the oldest retained sample
-	count     int           // retained samples, <= len(ring)
+	stale     bool           // marked by MarkStale; cleared by the next Record
+	ring      []Measurement  // fixed capacity == history depth
+	head      int            // index of the oldest retained sample
+	count     int            // retained samples, <= len(ring)
 	sk        *sketch.Sketch // per-series quantile sketch; nil unless EnableSketches
+
+	// Results batching (nil unless EnableResults): successful values
+	// accumulate in the fixed buffer and flush to the sink as one batch
+	// when it fills (see flushResults).
+	rbuf []float64
+	rn   int
+	rAt  time.Duration // TakenAt of the newest buffered sample
 }
 
 // Database is the measurement store of Figure 2. It "enables both current
@@ -49,6 +57,10 @@ type Database struct {
 
 	sketchOn bool              // maintain a quantile sketch per series
 	sketchTh sketch.Thresholds // stall levels applied to new sketches
+
+	resSink  BatchSink // durable results seam; nil = disabled
+	resBatch int       // samples per flushed batch
+	resErr   error     // first sink error, surfaced by FlushResults
 
 	series map[dbKey]*dbSeries
 	// Records counts all stored measurements.
@@ -108,6 +120,77 @@ func (db *Database) EnableSketches(t sketch.Thresholds) {
 // SketchesEnabled reports whether EnableSketches has been called.
 func (db *Database) SketchesEnabled() bool { return db.sketchOn }
 
+// BatchSink receives closed sample batches from the durable results seam.
+// *results.Writer satisfies it; the indirection keeps the sim-facing core
+// free of any dependency on the results encoding. Everything passed is
+// derived from simulation state (atNS is virtual time), so sink content is
+// deterministic. The samples slice is only valid during the call.
+type BatchSink interface {
+	WriteBatch(batch, metric, unit string, atNS int64, samples []float64) error
+}
+
+// DefaultResultsBatch is the per-series batch size EnableResults uses when
+// given a non-positive one.
+const DefaultResultsBatch = 32
+
+// EnableResults streams every series' successful values to sink in
+// batches of batchSamples — the durable results pipeline's producer seam.
+// Like the telemetry and sketch seams it is off by default and purely
+// observational: it consumes no simulated time and changes no monitor
+// behavior. Must be called before the first Record. Call FlushResults at
+// the end of the run to drain partial batches and collect any sink error.
+func (db *Database) EnableResults(sink BatchSink, batchSamples int) {
+	if db.Records > 0 {
+		panic("core: EnableResults must be called before the first Record")
+	}
+	if batchSamples <= 0 {
+		batchSamples = DefaultResultsBatch
+	}
+	db.resSink = sink
+	db.resBatch = batchSamples
+}
+
+// flushResults closes the series' pending batch and hands it to the sink.
+// The first sink failure is retained for FlushResults; later batches are
+// still offered (the sink's own error handling decides whether to drop).
+func (db *Database) flushResults(key dbKey, s *dbSeries) {
+	n := s.rn
+	s.rn = 0
+	if n == 0 {
+		return
+	}
+	err := db.resSink.WriteBatch(string(key.path), key.metric.String(),
+		key.metric.Unit(), int64(s.rAt), s.rbuf[:n])
+	if err != nil && db.resErr == nil {
+		db.resErr = err
+	}
+}
+
+// FlushResults drains every series' partially filled batch, in sorted
+// (path, metric) order for determinism, and returns the first error the
+// sink reported over the database's lifetime. It is safe to call when
+// results are disabled (a no-op returning nil) and may be called more
+// than once; samples recorded after a flush open fresh batches.
+func (db *Database) FlushResults() error {
+	if db.resSink == nil {
+		return nil
+	}
+	keys := make([]dbKey, 0, len(db.series))
+	for k := range db.series {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].path != keys[j].path {
+			return keys[i].path < keys[j].path
+		}
+		return keys[i].metric < keys[j].metric
+	})
+	for _, k := range keys {
+		db.flushResults(k, db.series[k])
+	}
+	return db.resErr
+}
+
 // Record stores a measurement as the current value, updates last-known on
 // success, and appends to history, evicting the oldest retained sample once
 // the series is at depth.
@@ -136,6 +219,10 @@ func (db *Database) Record(m Measurement) {
 			s.sk = &sketch.Sketch{}
 			s.sk.SetThresholds(db.sketchTh)
 		}
+		if db.resSink != nil {
+			//lint:allow heapescape results-batch buffer creation: once per (path, metric), never on the steady recording path
+			s.rbuf = make([]float64, db.resBatch)
+		}
 		db.series[key] = s
 		db.ringSlots += depth
 		db.telSeries.Set(float64(len(db.series)))
@@ -148,6 +235,14 @@ func (db *Database) Record(m Measurement) {
 		s.hasLast = true
 		if s.sk != nil {
 			s.sk.Update(m.Value)
+		}
+		if s.rbuf != nil {
+			s.rbuf[s.rn] = m.Value
+			s.rAt = m.TakenAt
+			s.rn++
+			if s.rn == len(s.rbuf) {
+				db.flushResults(key, s)
+			}
 		}
 	}
 	if s.count < len(s.ring) {

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// sinkBatch is one WriteBatch call captured by recSink.
+type sinkBatch struct {
+	batch, metric, unit string
+	atNS                int64
+	samples             []float64
+}
+
+// recSink records every batch it is offered; err, when set, is returned
+// from each call (the samples slice is copied — it is only valid during
+// the call, per the BatchSink contract).
+type recSink struct {
+	batches []sinkBatch
+	err     error
+}
+
+func (s *recSink) WriteBatch(batch, metric, unit string, atNS int64, samples []float64) error {
+	s.batches = append(s.batches, sinkBatch{batch, metric, unit, atNS,
+		append([]float64(nil), samples...)})
+	return s.err
+}
+
+func resMeas(path PathID, v float64, at time.Duration) Measurement {
+	return Measurement{Path: path, Metric: metrics.Throughput, Value: v, TakenAt: at}
+}
+
+func TestResultsBatchingFlushAtSize(t *testing.T) {
+	sink := &recSink{}
+	db := NewDatabase()
+	db.EnableResults(sink, 4)
+	for i := 0; i < 9; i++ {
+		db.Record(resMeas("p", float64(i), time.Duration(i)*time.Second))
+	}
+	// Two full batches flushed inline; the ninth sample still buffered.
+	if len(sink.batches) != 2 {
+		t.Fatalf("got %d batches before FlushResults, want 2", len(sink.batches))
+	}
+	b := sink.batches[0]
+	if b.batch != "p" || b.metric != "throughput" || b.unit != "bits/s" {
+		t.Errorf("batch identity wrong: %+v", b)
+	}
+	if b.atNS != int64(3*time.Second) {
+		t.Errorf("batch atNS = %d, want the newest buffered sample's TakenAt", b.atNS)
+	}
+	if len(b.samples) != 4 || b.samples[0] != 0 || b.samples[3] != 3 {
+		t.Errorf("batch samples wrong: %v", b.samples)
+	}
+	if err := db.FlushResults(); err != nil {
+		t.Fatalf("FlushResults: %v", err)
+	}
+	if len(sink.batches) != 3 || len(sink.batches[2].samples) != 1 || sink.batches[2].samples[0] != 8 {
+		t.Fatalf("partial batch not drained: %+v", sink.batches)
+	}
+	// A second flush with nothing buffered adds nothing.
+	if err := db.FlushResults(); err != nil || len(sink.batches) != 3 {
+		t.Fatalf("idempotent flush violated: %d batches, %v", len(sink.batches), err)
+	}
+}
+
+func TestResultsSkipsFailedMeasurements(t *testing.T) {
+	sink := &recSink{}
+	db := NewDatabase()
+	db.EnableResults(sink, 2)
+	db.Record(resMeas("p", 1, time.Second))
+	db.Record(Measurement{Path: "p", Metric: metrics.Throughput, Err: "timeout", TakenAt: 2 * time.Second})
+	db.Record(resMeas("p", 3, 3*time.Second))
+	if len(sink.batches) != 1 {
+		t.Fatalf("got %d batches, want 1", len(sink.batches))
+	}
+	if s := sink.batches[0].samples; len(s) != 2 || s[0] != 1 || s[1] != 3 {
+		t.Errorf("failed measurement leaked into the batch: %v", s)
+	}
+}
+
+func TestFlushResultsDrainsInSortedKeyOrder(t *testing.T) {
+	sink := &recSink{}
+	db := NewDatabase()
+	db.EnableResults(sink, 100) // never fills: everything drains at flush
+	// Record in reverse key order; the flush must not echo map order.
+	for _, p := range []PathID{"zz", "mm", "aa"} {
+		db.Record(resMeas(p, 1, time.Second))
+		db.Record(Measurement{Path: p, Metric: metrics.OneWayLatency, Value: 0.1, TakenAt: time.Second})
+	}
+	if err := db.FlushResults(); err != nil {
+		t.Fatalf("FlushResults: %v", err)
+	}
+	var got []string
+	for _, b := range sink.batches {
+		got = append(got, b.batch+"/"+b.metric)
+	}
+	// Paths sort lexically; metrics sort by enum ordinal (throughput
+	// precedes one-way-latency) — stable either way, which is the point.
+	want := fmt.Sprintf("%v", []string{
+		"aa/throughput", "aa/one-way-latency",
+		"mm/throughput", "mm/one-way-latency",
+		"zz/throughput", "zz/one-way-latency",
+	})
+	if fmt.Sprintf("%v", got) != want {
+		t.Errorf("flush order %v, want %s", got, want)
+	}
+}
+
+func TestEnableResultsAfterFirstRecordPanics(t *testing.T) {
+	db := NewDatabase()
+	db.Record(resMeas("p", 1, time.Second))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("EnableResults after the first Record did not panic")
+		}
+	}()
+	db.EnableResults(&recSink{}, 4)
+}
+
+func TestFlushResultsSurfacesSinkError(t *testing.T) {
+	sink := &recSink{err: fmt.Errorf("pipe closed")}
+	db := NewDatabase()
+	db.EnableResults(sink, 2)
+	db.Record(resMeas("p", 1, time.Second))
+	db.Record(resMeas("p", 2, 2*time.Second)) // fills the batch; sink fails
+	db.Record(resMeas("p", 3, 3*time.Second))
+	if err := db.FlushResults(); err == nil {
+		t.Fatal("sink error swallowed")
+	}
+	// Later batches were still offered despite the sticky error.
+	if len(sink.batches) != 2 {
+		t.Errorf("got %d batches, want 2 (sink stays in the loop after an error)", len(sink.batches))
+	}
+}
+
+func TestFlushResultsWithoutSinkIsNoOp(t *testing.T) {
+	db := NewDatabase()
+	db.Record(resMeas("p", 1, time.Second))
+	if err := db.FlushResults(); err != nil {
+		t.Fatalf("FlushResults on a results-disabled database: %v", err)
+	}
+}

@@ -199,6 +199,8 @@ type Director struct {
 	timers  []sim.Timer
 	started bool
 
+	resSink core.BatchSink // durable results seam; nil = disabled
+
 	telTrapsIn, telTrapsDropped, telTrapsCoalesced *telemetry.Counter
 	telRecordsIn, telRecordsDropped                *telemetry.Counter
 	telTrapDepth, telRecDepth, telWindowNs         *telemetry.Gauge
@@ -471,7 +473,36 @@ func (d *Director) reexport(now time.Duration) {
 		}
 	}
 	d.Stats.Reexports++
+	if d.resSink != nil {
+		d.recordReexport(&b)
+	}
 	d.parent.offerBatch(b)
+}
+
+// EnableResults streams every upward re-export batch — one record per
+// metric, samples in assigned-path order — to the durable results sink.
+// Like the database seam it is purely observational: it consumes no
+// simulated time and the batch sent to the parent is unchanged. sink
+// content is deterministic because re-exports are driven entirely by
+// virtual time.
+func (d *Director) EnableResults(sink core.BatchSink) { d.resSink = sink }
+
+// recordReexport writes the just-built batch to the results sink, grouped
+// per metric so each record's samples share a unit.
+func (d *Director) recordReexport(b *batch) {
+	for _, met := range d.metricsL {
+		var vals []float64
+		for _, m := range b.meas {
+			if m.Metric == met && m.OK() {
+				vals = append(vals, m.Value)
+			}
+		}
+		if len(vals) == 0 {
+			continue
+		}
+		// Sink errors are sticky in the writer; re-export must never fail.
+		_ = d.resSink.WriteBatch("reexport/"+d.Name, met.String(), met.Unit(), int64(b.at), vals)
+	}
 }
 
 // localDB is the database the director re-exports from and answers

@@ -1,0 +1,96 @@
+package director
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// resBatch is one WriteBatch call captured by resSinkStub.
+type resBatch struct {
+	batch, metric, unit string
+	atNS                int64
+	samples             []float64
+}
+
+type resSinkStub struct{ batches []resBatch }
+
+func (s *resSinkStub) WriteBatch(batch, metric, unit string, atNS int64, samples []float64) error {
+	s.batches = append(s.batches, resBatch{batch, metric, unit, atNS,
+		append([]float64(nil), samples...)})
+	return nil
+}
+
+// runReexportCapture drives a cots-backed 2-leaf tree for 3 simulated
+// seconds with the durable results seam open on both leaves and returns
+// the captured batch stream.
+func runReexportCapture(t *testing.T) []resBatch {
+	t.Helper()
+	k := sim.NewKernel()
+	defer k.Close()
+	cfg := Config{Reexport: 250 * time.Millisecond, TTL: 2 * time.Second}
+	_, _, root, leaves, paths := buildCotsTree(k, cfg)
+	sink := &resSinkStub{}
+	for _, l := range leaves {
+		l.EnableResults(sink)
+	}
+	root.Submit(core.Request{Paths: paths, Metrics: []metrics.Metric{metrics.Reachability, metrics.OneWayLatency}})
+	root.Start()
+	k.RunUntil(3 * time.Second)
+	return sink.batches
+}
+
+func TestReexportResultsStream(t *testing.T) {
+	batches := runReexportCapture(t)
+	if len(batches) == 0 {
+		t.Fatal("no re-export batches reached the results sink")
+	}
+	perLeaf := map[string]int{}
+	for _, b := range batches {
+		perLeaf[b.batch]++
+		switch b.metric {
+		case "reachability":
+			if b.unit != "bool" {
+				t.Errorf("reachability unit = %q", b.unit)
+			}
+			for _, v := range b.samples {
+				if v != 0 && v != 1 {
+					t.Errorf("reachability sample %g outside {0,1}", v)
+				}
+			}
+		case "one-way-latency":
+			if b.unit != "s" {
+				t.Errorf("one-way-latency unit = %q", b.unit)
+			}
+			for _, v := range b.samples {
+				if v <= 0 || v > 1 {
+					t.Errorf("implausible latency sample %gs", v)
+				}
+			}
+		default:
+			t.Errorf("unexpected metric %q in re-export stream", b.metric)
+		}
+		// Re-exports fire on the 250ms timer, in virtual time.
+		if b.atNS <= 0 || b.atNS%int64(250*time.Millisecond) != 0 {
+			t.Errorf("batch at %dns is not on a re-export tick", b.atNS)
+		}
+	}
+	// Both leaves stream under their own names; neither dominates.
+	for _, name := range []string{"reexport/leaf0", "reexport/leaf1"} {
+		if perLeaf[name] < 2 {
+			t.Errorf("leaf stream %q has only %d batches: %v", name, perLeaf[name], perLeaf)
+		}
+	}
+}
+
+func TestReexportResultsDeterministic(t *testing.T) {
+	a := fmt.Sprintf("%+v", runReexportCapture(t))
+	b := fmt.Sprintf("%+v", runReexportCapture(t))
+	if a != b {
+		t.Fatal("two identical runs produced different re-export streams")
+	}
+}

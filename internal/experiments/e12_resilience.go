@@ -41,12 +41,18 @@ type e12Stats struct {
 // runE12 executes one chaos schedule — permanent kills, a flapping host, a
 // degraded segment, and a partition — against the COTS monitor, with the
 // resilience layer either enabled or disabled, and measures what the
-// resource-manager side would have experienced.
-func runE12(quick, enabled bool) e12Stats {
+// resource-manager side would have experienced. When w is non-nil the
+// monitor's database streams its sample batches through the durable
+// results seam; recording is purely observational, so the returned stats
+// are identical either way (asserted by TestResultsRecordingZeroEffect).
+func runE12(quick, enabled bool, w core.BatchSink) e12Stats {
 	k := newKernel()
 	defer k.Close()
 	h := topo.BuildHiPerD(k, 7)
 	m := cots.New(h.Mgmt, "public", time.Second)
+	if w != nil {
+		m.DB.EnableResults(w, 16)
+	}
 	if enabled {
 		// Tight per-attempt timeout with backoff and a hard per-request
 		// budget, plus breakers that stop re-learning a dead agent every
@@ -146,6 +152,11 @@ func runE12(quick, enabled bool) e12Stats {
 	}
 	out.FastFails = m.RStats.FastFailedPolls
 	out.ShedSweeps = m.RStats.ShedSweeps
+	if w != nil {
+		if err := m.DB.FlushResults(); err != nil {
+			panic(fmt.Sprintf("experiments: results write failed: %v", err))
+		}
+	}
 	return out
 }
 
@@ -163,7 +174,7 @@ func E12(quick bool) *report.Table {
 			"sweeps", "unanswered polls/sweep", "fast-fails", "shed sweeps"},
 	}
 	for _, enabled := range []bool{false, true} {
-		st := runE12(quick, enabled)
+		st := runE12(quick, enabled, nil)
 		name := "off"
 		if enabled {
 			name = "on (breaker+backoff+watchdog)"

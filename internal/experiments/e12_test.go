@@ -5,8 +5,8 @@ import (
 )
 
 func TestE12ResilienceStrictlyImproves(t *testing.T) {
-	off := runE12(true, false)
-	on := runE12(true, true)
+	off := runE12(true, false, nil)
+	on := runE12(true, true, nil)
 
 	// The layer's reason to exist: failures surface sooner because sweeps
 	// stop stalling on known-dead agents...
@@ -29,13 +29,13 @@ func TestE12ResilienceStrictlyImproves(t *testing.T) {
 }
 
 func TestE12Deterministic(t *testing.T) {
-	a := runE12(true, true)
-	b := runE12(true, true)
+	a := runE12(true, true, nil)
+	b := runE12(true, true, nil)
 	if a != b {
 		t.Fatalf("E12 run not seed-stable:\n  first  %+v\n  second %+v", a, b)
 	}
-	c := runE12(true, false)
-	d := runE12(true, false)
+	c := runE12(true, false, nil)
+	d := runE12(true, false, nil)
 	if c != d {
 		t.Fatalf("E12 baseline not seed-stable:\n  first  %+v\n  second %+v", c, d)
 	}
